@@ -1,0 +1,63 @@
+"""A1 — ablation: the collision-threshold percentage alpha.
+
+DESIGN.md §7 calls out the alpha* = (z*p1 + p2)/(1+z) choice; this ablation
+shows what breaks off-optimum: alpha near p2 floods the candidate set with
+false positives, alpha near p1 starves recall (false negatives).
+
+Full table:  c2lsh-harness ablation-alpha
+"""
+
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.core import design_params
+from repro.eval import Table, evaluate_results
+from repro.hashing import PStableFamily
+
+K = 10
+
+
+def _positions(mnist):
+    base = design_params(mnist.n, PStableFamily(mnist.dim, c=2), c=2)
+    span = base.p1 - base.p2
+    return base, [
+        ("near-p2", base.p2 + 0.10 * span),
+        ("optimal", base.alpha),
+        ("near-p1", base.p1 - 0.10 * span),
+    ]
+
+
+@pytest.mark.parametrize("position", ["near-p2", "optimal", "near-p1"])
+def test_query(benchmark, position, mnist):
+    base, positions = _positions(mnist)
+    alpha = dict(positions)[position]
+    index = C2LSH(c=2, alpha=alpha, m=base.m, seed=0,
+                  page_manager=PageManager()).fit(mnist.data)
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_alpha_ablation(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        base, positions = _positions(mnist)
+        table = Table(["alpha", "position", "ratio", "recall", "candidates",
+                       "io_pages"],
+                      title=f"A1. Threshold ablation on {mnist.name} (k={K})")
+        rows = {}
+        for label, alpha in positions:
+            index = C2LSH(c=2, alpha=alpha, m=base.m, seed=0,
+                          page_manager=PageManager()).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K], true_dists[:, :K], K)
+            table.add(f"{alpha:.4f}", label, f"{s.ratio:.4f}",
+                      f"{s.recall:.4f}", f"{s.candidates:.0f}",
+                      f"{s.io_reads:.0f}")
+            rows[label] = s
+        table.print()
+        # Shape: a permissive threshold floods candidates; the strict one
+        # verifies fewer than the permissive one.
+        assert rows["near-p2"].candidates >= rows["optimal"].candidates
+        assert rows["near-p1"].candidates <= rows["near-p2"].candidates
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""A2 — ablation: incremental virtual rehashing vs full recounting.
+
+DESIGN.md §7: because radius-R buckets nest, C2LSH only scans the newly
+uncovered sub-ranges per radius step. This ablation re-scans everything at
+every radius (same answers, strictly more I/O) to price that design choice.
+
+Full table:  c2lsh-harness ablation-rehash
+"""
+
+import numpy as np
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import Table, evaluate_results
+
+K = 10
+
+
+def _small_unit(mnist):
+    """A quarter of the near-distance unit, forcing multi-round searches."""
+    from repro.core.scaling import estimate_base_radius
+
+    return estimate_base_radius(mnist.data, rng=0) / 4.0
+
+
+@pytest.fixture(scope="module", params=[True, False],
+                ids=["incremental", "recount"])
+def index_pair(request, mnist):
+    index = C2LSH(c=2, seed=0, incremental=request.param,
+                  base_radius=_small_unit(mnist),
+                  page_manager=PageManager()).fit(mnist.data)
+    return request.param, index
+
+
+def test_query(benchmark, index_pair, mnist):
+    _, index = index_pair
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_rehash_ablation(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["mode", "recall", "io_pages", "scanned_entries"],
+                      title=f"A2. Virtual-rehashing ablation on {mnist.name}")
+        stats = {}
+        answers = {}
+        for label, incremental in (("incremental", True), ("recount", False)):
+            index = C2LSH(c=2, seed=0, incremental=incremental,
+                          page_manager=PageManager()).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K], true_dists[:, :K], K)
+            table.add(label, f"{s.recall:.4f}", f"{s.io_reads:.0f}",
+                      f"{s.scanned_entries:.0f}")
+            stats[label] = s
+            answers[label] = [r.ids for r in results]
+        table.print()
+        # Identical answers, strictly more work without incrementality.
+        for a, b in zip(answers["incremental"], answers["recount"]):
+            assert np.array_equal(a, b)
+        assert stats["recount"].io_reads >= stats["incremental"].io_reads
+        assert stats["recount"].scanned_entries \
+            >= stats["incremental"].scanned_entries
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

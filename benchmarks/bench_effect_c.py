@@ -1,0 +1,52 @@
+"""F4 — effect of the approximation ratio c.
+
+Regenerates the paper's c-sensitivity figure: c=3 needs far fewer hash
+tables (cheaper index and queries) but admits a looser c^2 = 9 guarantee;
+c=2 pays more for tighter answers.
+
+Full figure:  c2lsh-harness effect-c
+"""
+
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import Table, evaluate_results
+
+K = 10
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def c2lsh_at_c(request, mnist):
+    c = request.param
+    index = C2LSH(c=c, seed=0, page_manager=PageManager()).fit(mnist.data)
+    return c, index
+
+
+def test_query(benchmark, c2lsh_at_c, mnist):
+    _, index = c2lsh_at_c
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_effect_of_c(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["c", "m", "l", "ratio", "recall", "io_pages",
+                       "candidates"],
+                      title=f"F4. Effect of c on {mnist.name} (k={K})")
+        stats = {}
+        for c in (2, 3):
+            index = C2LSH(c=c, seed=0,
+                          page_manager=PageManager()).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K], true_dists[:, :K], K)
+            table.add(c, index.params.m, index.params.l, f"{s.ratio:.4f}",
+                      f"{s.recall:.4f}", f"{s.io_reads:.0f}",
+                      f"{s.candidates:.0f}")
+            stats[c] = (index.params.m, s)
+        table.print()
+        # Shape: larger c => fewer tables; accuracy may only degrade.
+        assert stats[3][0] < stats[2][0]
+        assert stats[3][1].ratio >= stats[2][1].ratio - 0.01
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

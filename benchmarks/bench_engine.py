@@ -1,0 +1,94 @@
+"""E3 — substrate micro-benchmarks: the hot paths under the indexes.
+
+Performance-regression tracking for the primitives everything else is
+built on: the lockstep binary search, one radius expansion of the counting
+engine, Z-order interleaving, the B+-tree descent, and the external sort.
+These are the paths the repro band flagged ("hashing loops slow without C
+extensions") — keeping them measured keeps them honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import CollisionCounter
+from repro.storage import BPlusTree, PageManager
+from repro.storage.extsort import ExternalSorter
+from repro.storage.vsearch import row_searchsorted
+from repro.storage.zorder import interleave, llcp
+
+N, M = 20_000, 200
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = np.random.default_rng(0)
+    bucket_ids = rng.integers(-500, 500, size=(N, M))
+    counter = CollisionCounter(bucket_ids)
+    qids = rng.integers(-500, 500, size=M)
+    return counter, qids
+
+
+def test_row_searchsorted(benchmark, engine):
+    counter, qids = engine
+    result = benchmark(
+        lambda: row_searchsorted(counter.sorted_ids, qids, side="left"))
+    assert result.shape == (M,)
+
+
+def test_expand_first_round(benchmark, engine):
+    counter, qids = engine
+
+    def first_round():
+        qc = counter.start_query(qids)
+        return qc.expand(1)
+
+    touched = benchmark(first_round)
+    assert touched.size >= 0
+
+
+def test_expand_full_walk(benchmark, engine):
+    counter, qids = engine
+
+    def walk():
+        qc = counter.start_query(qids)
+        radius = 1
+        while not qc.exhausted and radius < 2 ** 20:
+            qc.expand(radius)
+            radius *= 2
+        return qc.counts
+
+    counts = benchmark.pedantic(walk, rounds=3, iterations=1)
+    assert counts.max() <= M
+
+
+def test_zorder_interleave(benchmark):
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 2 ** 10, size=(N, 8))
+    codes = benchmark.pedantic(lambda: interleave(values, 10), rounds=3,
+                               iterations=1)
+    assert codes.shape[0] == N
+
+
+def test_zorder_llcp(benchmark):
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 2 ** 10, size=(N, 8))
+    codes = interleave(values, 10)
+    lengths = benchmark(lambda: llcp(codes, codes[0], 80))
+    assert lengths[0] == 80
+
+
+def test_btree_search(benchmark):
+    tree = BPlusTree(list(range(N)), list(range(N)), leaf_capacity=341,
+                     fanout=256)
+    positions = benchmark(lambda: [tree.search_position(k)
+                                   for k in range(0, N, 997)])
+    assert positions[0] == 0
+
+
+def test_external_sort(benchmark):
+    rng = np.random.default_rng(3)
+    keys = rng.integers(-10**6, 10**6, size=N)
+    sorter = ExternalSorter(PageManager(), memory_pages=8)
+    order = benchmark.pedantic(lambda: sorter.sorted_order(keys), rounds=3,
+                               iterations=1)
+    assert np.array_equal(order, np.argsort(keys, kind="stable"))

@@ -1,0 +1,67 @@
+"""T2 — index size and build time for every method.
+
+Regenerates the paper's index-overhead table: C2LSH's m single-function
+tables against LSB-forest's trees and E2LSH's compound tables, all priced
+by the same PageManager.
+
+Full table:  c2lsh-harness table-index
+"""
+
+import pytest
+
+from repro import C2LSH, E2LSH, LSBForest, PageManager, QALSH
+from repro.eval import Table
+
+
+def _factories():
+    return {
+        "c2lsh": lambda pm: C2LSH(c=2, seed=0, page_manager=pm),
+        "qalsh": lambda pm: QALSH(c=2, seed=0, page_manager=pm),
+        "lsb": lambda pm: LSBForest(n_trees=10, seed=0, page_manager=pm),
+        "e2lsh": lambda pm: E2LSH(K=8, L=64, seed=0, page_manager=pm),
+    }
+
+
+@pytest.mark.parametrize("method", sorted(_factories()))
+def test_build(benchmark, method, mnist):
+    factory = _factories()[method]
+
+    def build():
+        return factory(PageManager()).fit(mnist.data)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert index.index_pages() > 0
+
+
+def test_print_index_size_table(benchmark, mnist):
+    def run():
+        table = Table(["method", "index_pages", "note"],
+                      title=f"T2. Index sizes on {mnist.name} (n={mnist.n})")
+        for name, factory in _factories().items():
+            index = factory(PageManager()).fit(mnist.data)
+            table.add(name, index.index_pages(), "built")
+        K_th, L_th = E2LSH.theoretical_parameters(mnist.n)
+        m_th, L_lsb = LSBForest.theoretical_parameters(mnist.n, mnist.dim)
+        pm = PageManager()
+        per_table = pm.pages_for(mnist.n, 12)
+        table.add("e2lsh(theory)", L_th * per_table, f"K={K_th} L={L_th}")
+        table.add("lsb(theory)", L_lsb * per_table, f"m={m_th} L={L_lsb}")
+        table.print()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_c2lsh_smaller_than_theoretical_forests(benchmark):
+    """The paper's index-size claim: at million-point scale, C2LSH's
+    m ~ log n tables undercut E2LSH's L ~ n^rho tables (each table holds
+    one entry per point, so table counts compare index sizes)."""
+    def run():
+        from repro.core import design_params
+        from repro.hashing import PStableFamily
+
+        n = 1_000_000
+        m = design_params(n, PStableFamily(50, c=2), c=2).m
+        _, L_th = E2LSH.theoretical_parameters(n)
+        assert m < L_th
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

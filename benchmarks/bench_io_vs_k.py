@@ -1,0 +1,49 @@
+"""F2 — I/O cost (pages read per query) vs k.
+
+Regenerates the paper's efficiency figure under the shared page-cost model:
+C2LSH's I/O grows gently with k and sits below the linear scan at scale,
+while LSB-forest trades I/O against its coarser accuracy.
+
+Full figure:  c2lsh-harness vs-k
+"""
+
+import pytest
+
+from repro.eval import Table, evaluate_results
+
+KS = (1, 10, 20, 50, 100)
+
+
+@pytest.mark.parametrize("method", ["c2lsh", "qalsh", "lsb", "linear"])
+def test_query_io_at_k10(benchmark, method, mnist, mnist_indexes):
+    index = mnist_indexes[method]
+    q = mnist.queries[0]
+
+    def one_query():
+        return index.query(q, k=10)
+
+    result = benchmark(one_query)
+    assert result.stats.io_reads > 0
+
+
+def test_print_io_vs_k(benchmark, mnist, mnist_indexes, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["method", "k", "io_pages", "candidates"],
+                      title=f"F2. I/O cost vs k on {mnist.name}")
+        io = {}
+        for name, index in mnist_indexes.items():
+            for k in KS:
+                results = index.query_batch(mnist.queries, k=k)
+                s = evaluate_results(results, true_ids[:, :k],
+                                     true_dists[:, :k], k)
+                table.add(name, k, f"{s.io_reads:.0f}", f"{s.candidates:.0f}")
+                io[(name, k)] = s.io_reads
+        table.print()
+        # Shape: I/O is non-decreasing in k for the counting methods, and the
+        # linear scan's I/O is flat.
+        for name in ("c2lsh", "qalsh"):
+            assert io[(name, 100)] >= io[(name, 1)]
+        assert io[("linear", 1)] == io[("linear", 100)]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

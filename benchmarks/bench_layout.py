@@ -1,0 +1,58 @@
+"""A5 — ablation: raw-vector file layout (verification locality).
+
+LSH candidates are spatially clustered by construction; laying the data
+file out along a Z-order curve lets one page read serve several verified
+candidates. This bench prices the three layouts of
+:class:`repro.storage.DataFile` under identical answers.
+
+Full table:  c2lsh-harness layout
+"""
+
+import numpy as np
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import Table, evaluate_results
+
+K = 10
+LAYOUTS = ("scattered", "id", "zorder")
+
+
+@pytest.fixture(scope="module", params=LAYOUTS)
+def layout_index(request, mnist):
+    index = C2LSH(c=2, seed=0, data_layout=request.param,
+                  page_manager=PageManager()).fit(mnist.data)
+    return request.param, index
+
+
+def test_query(benchmark, layout_index, mnist):
+    _, index = layout_index
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_layout_ablation(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["layout", "recall", "io_pages", "candidates"],
+                      title=f"A5. Data-file layout on {mnist.name} (k={K})")
+        io = {}
+        answers = {}
+        for layout in LAYOUTS:
+            index = C2LSH(c=2, seed=0, data_layout=layout,
+                          page_manager=PageManager()).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K],
+                                 true_dists[:, :K], K)
+            table.add(layout, f"{s.recall:.4f}", f"{s.io_reads:.0f}",
+                      f"{s.candidates:.0f}")
+            io[layout] = s.io_reads
+            answers[layout] = [r.ids for r in results]
+        table.print()
+        # Identical answers; locality only ever lowers the bill.
+        for a, b in zip(answers["scattered"], answers["zorder"]):
+            assert np.array_equal(a, b)
+        assert io["id"] <= io["scattered"]
+        assert io["zorder"] <= io["id"] + 1
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

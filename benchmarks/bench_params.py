@@ -1,0 +1,36 @@
+"""T1 — parameter table: cost of deriving (w, p1, p2, alpha, m, l).
+
+Regenerates the paper's parameter-settings table and benchmarks the
+parameter machinery itself (it runs on every index build).
+
+Full table:  c2lsh-harness table-params
+"""
+
+import pytest
+
+from repro.core import design_params
+from repro.eval import Table
+from repro.hashing import PStableFamily
+
+
+@pytest.mark.parametrize("c", [2, 3])
+def test_design_params(benchmark, c, mnist):
+    family = PStableFamily(mnist.dim, c=c)
+    params = benchmark(design_params, mnist.n, family, c)
+    assert 1 <= params.l <= params.m
+    assert params.p2 < params.alpha < params.p1
+
+
+def test_print_parameter_table(benchmark, mnist, color):
+    """Emit the T1 rows for the record (captured by pytest unless -s)."""
+    def run():
+        table = Table(["dataset", "n", "c", "w", "p1", "p2", "alpha", "m", "l"],
+                      title="T1. C2LSH parameters")
+        for ds in (mnist, color):
+            for c in (2, 3):
+                p = design_params(ds.n, PStableFamily(ds.dim, c=c), c=c)
+                table.add(ds.name, ds.n, c, f"{p.w:.3f}", f"{p.p1:.4f}",
+                          f"{p.p2:.4f}", f"{p.alpha:.4f}", p.m, p.l)
+        table.print()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""F1 — overall ratio vs k for every method.
+
+Regenerates the paper's accuracy figure: C2LSH's ratio stays near 1.0 and
+below LSB-forest's across k, with the exact scan as the 1.0 floor.
+
+Full figure:  c2lsh-harness vs-k
+"""
+
+import pytest
+
+from repro.eval import Table, evaluate_results
+
+KS = (1, 10, 20, 50, 100)
+
+
+@pytest.mark.parametrize("method", ["c2lsh", "qalsh", "lsb", "e2lsh",
+                                    "linear"])
+def test_query_at_k10(benchmark, method, mnist, mnist_indexes):
+    """Benchmark one k=10 query per method (the figure's midpoint)."""
+    index = mnist_indexes[method]
+    queries = mnist.queries
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % queries.shape[0]]
+        state["i"] += 1
+        return index.query(q, k=10)
+
+    result = benchmark(one_query)
+    assert len(result) <= 10
+
+
+def test_print_ratio_vs_k(benchmark, mnist, mnist_indexes, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["method", "k", "ratio", "recall"],
+                      title=f"F1. Overall ratio vs k on {mnist.name}")
+        ratios = {}
+        for name, index in mnist_indexes.items():
+            for k in KS:
+                results = index.query_batch(mnist.queries, k=k)
+                s = evaluate_results(results, true_ids[:, :k],
+                                     true_dists[:, :k], k)
+                table.add(name, k, f"{s.ratio:.4f}", f"{s.recall:.4f}")
+                ratios[(name, k)] = s.ratio
+        table.print()
+        # Shape assertions from the paper: exact scan is the floor and C2LSH
+        # is at least as accurate as LSB-forest at every k.
+        for k in KS:
+            assert ratios[("linear", k)] == pytest.approx(1.0)
+            assert ratios[("c2lsh", k)] <= ratios[("lsb", k)] + 0.05
+            assert ratios[("c2lsh", k)] < 4.0  # the c^2 guarantee, c=2
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""A3 — scalability in n and dim.
+
+Regenerates the scalability study on controlled synthetic clusters: C2LSH's
+verified-candidate count grows sub-linearly in n (the dynamic counting
+claim), while the linear scan grows linearly by construction.
+
+Full table:  c2lsh-harness scalability
+"""
+
+import pytest
+
+from repro import C2LSH, LinearScan, PageManager
+from repro.data import exact_knn, gaussian_clusters, split_queries
+from repro.eval import Table, evaluate_results
+
+K = 10
+N_GRID = (2_000, 4_000, 8_000)
+D_GRID = (16, 64)
+N_QUERIES = 10
+
+
+def _make(n, dim, seed=0):
+    raw = gaussian_clusters(n + N_QUERIES, dim, n_clusters=20,
+                            cluster_std=1.5, spread=10.0, seed=seed)
+    return split_queries(raw, N_QUERIES, seed=seed + 1)
+
+
+@pytest.mark.parametrize("n", N_GRID)
+def test_build_scaling(benchmark, n):
+    data, _ = _make(n, 32)
+
+    def build():
+        return C2LSH(c=2, seed=0).fit(data)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert index.is_fitted
+
+
+@pytest.mark.parametrize("dim", D_GRID)
+def test_query_scaling_in_dim(benchmark, dim):
+    data, queries = _make(4_000, dim)
+    index = C2LSH(c=2, seed=0).fit(data)
+    benchmark(lambda: index.query(queries[0], k=K))
+
+
+def test_print_scalability(benchmark):
+    def run():
+        table = Table(["n", "dim", "method", "recall", "candidates",
+                       "io_pages"],
+                      title="A3. Scalability (synthetic clusters)")
+        fractions = {}
+        for n in N_GRID:
+            data, queries = _make(n, 32)
+            true_ids, true_dists = exact_knn(data, queries, K)
+            for name, factory in (
+                ("c2lsh", lambda: C2LSH(c=2, seed=0,
+                                        page_manager=PageManager())),
+                ("linear", lambda: LinearScan(page_manager=PageManager())),
+            ):
+                index = factory().fit(data)
+                results = index.query_batch(queries, k=K)
+                s = evaluate_results(results, true_ids, true_dists, K)
+                table.add(n, 32, name, f"{s.recall:.4f}",
+                          f"{s.candidates:.0f}", f"{s.io_reads:.0f}")
+                if name == "c2lsh":
+                    fractions[n] = s.candidates / n
+        table.print()
+        # Shape: the verified fraction shrinks as n grows (beta = 100/n).
+        assert fractions[N_GRID[-1]] < fractions[N_GRID[0]]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

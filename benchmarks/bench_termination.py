@@ -1,0 +1,61 @@
+"""A4 — ablation: the two termination rules.
+
+T1 ("k candidates within c*R") bounds work once good answers exist; T2
+("k + beta*n candidates verified") bounds work when they don't. Disabling
+either changes the cost/recall balance — both are needed for the paper's
+guarantee + bounded-cost story.
+
+Full table:  c2lsh-harness termination
+"""
+
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import Table, evaluate_results
+
+K = 10
+
+VARIANTS = {
+    "T1+T2": dict(),
+    "T2-only": dict(use_t1=False),
+    "T1-only": dict(beta=0.999),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(VARIANTS))
+def variant_index(request, mnist):
+    index = C2LSH(c=2, seed=0, page_manager=PageManager(),
+                  **VARIANTS[request.param]).fit(mnist.data)
+    return request.param, index
+
+
+def test_query(benchmark, variant_index, mnist):
+    _, index = variant_index
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_termination_ablation(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["variant", "recall", "ratio", "candidates", "io_pages",
+                       "stopped_by"],
+                      title=f"A4. Termination ablation on {mnist.name} (k={K})")
+        stats = {}
+        for label, overrides in VARIANTS.items():
+            index = C2LSH(c=2, seed=0, page_manager=PageManager(),
+                          **overrides).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K], true_dists[:, :K], K)
+            stops = sorted({r.stats.terminated_by for r in results})
+            table.add(label, f"{s.recall:.4f}", f"{s.ratio:.4f}",
+                      f"{s.candidates:.0f}", f"{s.io_reads:.0f}",
+                      "/".join(stops))
+            stats[label] = s
+        table.print()
+        # Shape: dropping T1 can only increase verified candidates; dropping
+        # T2 (huge budget) can only increase them as well.
+        assert stats["T2-only"].candidates >= stats["T1+T2"].candidates - 1
+        assert stats["T1-only"].recall >= stats["T1+T2"].recall - 0.02
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""F3 — wall-clock query time vs k.
+
+Regenerates the paper's running-time figure: per-query latency of each
+method as k grows (pytest-benchmark provides the timing).
+
+Full figure:  c2lsh-harness vs-k
+"""
+
+import pytest
+
+KS = (1, 10, 100)
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("method", ["c2lsh", "qalsh", "lsb", "e2lsh",
+                                    "linear"])
+def test_query_time(benchmark, method, k, mnist, mnist_indexes):
+    index = mnist_indexes[method]
+    queries = mnist.queries
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % queries.shape[0]]
+        state["i"] += 1
+        return index.query(q, k=k)
+
+    result = benchmark(one_query)
+    assert len(result) <= k

@@ -1,0 +1,87 @@
+"""E2 — tooling costs: persistence, live updates, auto-tuning.
+
+Not a paper artifact — these measure the adoption-oriented tooling so its
+overheads are known quantities: save/load round-trips, insert throughput
+and rebuild amortization of the updatable wrapper, and the tuner's
+end-to-end runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UpdatableC2LSH,
+    load_c2lsh,
+    save_c2lsh,
+    tune_c2lsh,
+)
+from repro import C2LSH
+
+
+@pytest.fixture(scope="module")
+def fitted(mnist):
+    return C2LSH(c=2, seed=0).fit(mnist.data)
+
+
+def test_save(benchmark, fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("persist") / "index.npz"
+
+    def save():
+        save_c2lsh(fitted, path)
+
+    benchmark.pedantic(save, rounds=3, iterations=1)
+    assert path.exists()
+
+
+def test_load(benchmark, fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("persist") / "index.npz"
+    save_c2lsh(fitted, path)
+
+    index = benchmark.pedantic(lambda: load_c2lsh(path), rounds=3,
+                               iterations=1)
+    assert index.is_fitted
+
+
+def test_loaded_index_answers_match(benchmark, fitted, mnist,
+                                    tmp_path_factory):
+    def run():
+        path = tmp_path_factory.mktemp("persist") / "index.npz"
+        save_c2lsh(fitted, path)
+        loaded = load_c2lsh(path)
+        for q in mnist.queries[:5]:
+            assert np.array_equal(fitted.query(q, k=5).ids,
+                                  loaded.query(q, k=5).ids)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_updatable_insert_throughput(benchmark, mnist):
+    def run():
+        index = UpdatableC2LSH(c=2, seed=0, min_index_size=500,
+                               rebuild_threshold=0.25)
+        for start in range(0, 2000, 250):
+            index.insert(mnist.data[start:start + 250])
+        return index
+
+    index = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(index) == 2000
+    assert index.rebuilds >= 1
+
+
+def test_updatable_query_after_churn(benchmark, mnist):
+    index = UpdatableC2LSH(c=2, seed=0, min_index_size=500,
+                           rebuild_threshold=0.25)
+    handles = index.insert(mnist.data[:2000])
+    index.delete(handles[:200])
+    q = mnist.queries[0]
+    result = benchmark(lambda: index.query(q, k=10))
+    assert len(result) == 10
+
+
+def test_tuner_runtime(benchmark, mnist):
+    def run():
+        return tune_c2lsh(mnist.data[:1500], target_recall=0.8, k=5,
+                          c_grid=(2,), budget_grid=(25, 100), seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.trials

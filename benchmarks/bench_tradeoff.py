@@ -1,0 +1,51 @@
+"""F5 — recall/cost trade-off via the false-positive budget.
+
+Regenerates the paper's trade-off curve: sweeping beta*n moves C2LSH along
+a candidates-vs-recall frontier (T2 caps the verified set at k + beta*n).
+
+Full figure:  c2lsh-harness tradeoff
+"""
+
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import Table, evaluate_results
+
+K = 10
+BUDGETS = (25, 50, 100, 200, 400)
+
+
+@pytest.fixture(scope="module", params=[25, 400])
+def c2lsh_at_budget(request, mnist):
+    budget = request.param
+    index = C2LSH(c=2, beta=min(budget / mnist.n, 0.9), seed=0,
+                  page_manager=PageManager()).fit(mnist.data)
+    return budget, index
+
+
+def test_query(benchmark, c2lsh_at_budget, mnist):
+    _, index = c2lsh_at_budget
+    q = mnist.queries[0]
+    benchmark(lambda: index.query(q, k=K))
+
+
+def test_print_tradeoff(benchmark, mnist, mnist_truth):
+    def run():
+        true_ids, true_dists = mnist_truth
+        table = Table(["beta*n", "ratio", "recall", "io_pages", "candidates"],
+                      title=f"F5. Budget sweep on {mnist.name} (k={K})")
+        rows = {}
+        for budget in BUDGETS:
+            index = C2LSH(c=2, beta=min(budget / mnist.n, 0.9), seed=0,
+                          page_manager=PageManager()).fit(mnist.data)
+            results = index.query_batch(mnist.queries, k=K)
+            s = evaluate_results(results, true_ids[:, :K], true_dists[:, :K], K)
+            table.add(budget, f"{s.ratio:.4f}", f"{s.recall:.4f}",
+                      f"{s.io_reads:.0f}", f"{s.candidates:.0f}")
+            rows[budget] = s
+        table.print()
+        # Shape: bigger budgets verify more candidates and never lose recall.
+        assert rows[400].candidates >= rows[25].candidates
+        assert rows[400].recall >= rows[25].recall - 0.02
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

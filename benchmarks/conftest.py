@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one experiment from DESIGN.md §6
+(T1/T2 tables, F1-F5 figures, A1-A4 ablations). Datasets are the scaled
+profiles from :mod:`repro.data.profiles`; the scale is chosen so the whole
+suite runs in a few minutes while preserving the orderings the paper
+reports. Set ``C2LSH_BENCH_SCALE`` to run bigger.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import load_profile
+
+BENCH_SCALE = float(os.environ.get("C2LSH_BENCH_SCALE", "0.05"))
+BENCH_QUERIES = int(os.environ.get("C2LSH_BENCH_QUERIES", "20"))
+K = 10
+
+
+@pytest.fixture(scope="session")
+def mnist():
+    return load_profile("mnist", scale=BENCH_SCALE, n_queries=BENCH_QUERIES,
+                        seed=0)
+
+
+@pytest.fixture(scope="session")
+def color():
+    return load_profile("color", scale=BENCH_SCALE, n_queries=BENCH_QUERIES,
+                        seed=0)
+
+
+@pytest.fixture(scope="session")
+def mnist_truth(mnist):
+    return mnist.ground_truth(100)
+
+
+@pytest.fixture(scope="session")
+def color_truth(color):
+    return color.ground_truth(100)
+
+
+@pytest.fixture(scope="session")
+def mnist_indexes(mnist):
+    """All methods built once on the mnist-like profile, with I/O managers."""
+    from repro import C2LSH, E2LSH, LinearScan, LSBForest, PageManager, QALSH
+
+    return {
+        "c2lsh": C2LSH(c=2, seed=0, page_manager=PageManager())
+        .fit(mnist.data),
+        "qalsh": QALSH(c=2, seed=0, page_manager=PageManager())
+        .fit(mnist.data),
+        "lsb": LSBForest(n_trees=10, seed=0, page_manager=PageManager())
+        .fit(mnist.data),
+        "e2lsh": E2LSH(K=8, L=64, seed=0, page_manager=PageManager())
+        .fit(mnist.data),
+        "linear": LinearScan(page_manager=PageManager()).fit(mnist.data),
+    }
+
+
+def run_queries(index, dataset, k):
+    """Answer every held-out query; returns the result list."""
+    return index.query_batch(dataset.queries, k=k)
+
+
+def cycle_queries(dataset):
+    """An endless query iterator for benchmark() bodies."""
+    i = 0
+    q = dataset.queries
+
+    def next_query():
+        nonlocal i
+        out = q[i % q.shape[0]]
+        i += 1
+        return out
+
+    return next_query

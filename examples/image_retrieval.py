@@ -1,0 +1,44 @@
+"""Image-feature retrieval with external-memory cost accounting.
+
+Rebuilds the paper's headline scenario: content-based retrieval over an
+image-feature collection (the mnist-like profile), comparing C2LSH against
+an exact scan and LSB-forest under the shared page-I/O cost model.
+
+Run:  python examples/image_retrieval.py
+"""
+
+from repro import C2LSH, LinearScan, LSBForest, PageManager
+from repro.data import mnist_like
+from repro.eval import Table, timed_build, timed_queries
+
+K = 10
+
+dataset = mnist_like(scale=0.1, seed=1)
+print(f"dataset: {dataset} — {dataset.description}\n")
+true_ids, true_dists = dataset.ground_truth(K)
+
+table = Table(
+    ["method", "build_s", "index_pages", "ratio", "recall", "io_pages/q",
+     "candidates/q", "ms/q"],
+    title=f"Top-{K} retrieval over {dataset.name} "
+          f"(page size 4096 B, {dataset.queries.shape[0]} queries)",
+)
+
+for name, factory in [
+    ("c2lsh", lambda: C2LSH(c=2, seed=0, page_manager=PageManager())),
+    ("lsb-forest", lambda: LSBForest(n_trees=10, seed=0,
+                                     page_manager=PageManager())),
+    ("linear-scan", lambda: LinearScan(page_manager=PageManager())),
+]:
+    build = timed_build(factory, dataset.data)
+    summary = timed_queries(build.index, dataset.queries, K,
+                            true_ids, true_dists)
+    table.add(name, f"{build.build_time:.2f}", build.index_pages,
+              f"{summary.ratio:.4f}", f"{summary.recall:.4f}",
+              f"{summary.io_reads:.0f}", f"{summary.candidates:.0f}",
+              f"{summary.query_time * 1e3:.2f}")
+
+table.print()
+print("Reading guide: ratio 1.0 = exact answers; C2LSH should sit near 1.0")
+print("while verifying a small fraction of the collection, versus the")
+print("linear scan's full sweep and LSB-forest's cheaper-but-coarser sweep.")

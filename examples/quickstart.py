@@ -1,0 +1,39 @@
+"""Quickstart: build a C2LSH index and answer c-approximate k-NN queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import C2LSH
+from repro.data import exact_knn
+
+rng = np.random.default_rng(0)
+
+# 10,000 points in 32 dimensions, loosely clustered.
+centers = rng.uniform(-10, 10, size=(16, 32))
+data = centers[rng.integers(0, 16, size=10_000)] \
+    + rng.standard_normal((10_000, 32))
+
+# Build the index. Everything is derived from the approximation ratio c:
+# the bucket width w, the collision probabilities (p1, p2), the threshold
+# percentage alpha, the number of hash tables m and the threshold l.
+index = C2LSH(c=2, seed=42).fit(data)
+print(f"index: {index}")
+print(f"params: {index.params.describe()}")
+print(f"distance unit (auto-estimated): {index.base_radius:.3f}\n")
+
+# Query for the 5 nearest neighbors of a perturbed data point.
+query = data[123] + 0.1 * rng.standard_normal(32)
+result = index.query(query, k=5)
+
+true_ids, true_dists = exact_knn(data, query, 5)
+print("rank  returned-id  distance   true-id  true-distance")
+for i, (oid, dist) in enumerate(zip(result.ids, result.distances)):
+    print(f"{i + 1:4d}  {oid:11d}  {dist:8.4f}   {true_ids[i]:7d}  "
+          f"{true_dists[i]:13.4f}")
+
+stats = result.stats
+print(f"\nsearch stopped by {stats.terminated_by} at radius "
+      f"{stats.final_radius} after {stats.rounds} rounds; "
+      f"{stats.candidates} of {data.shape[0]} points were verified.")

@@ -1,0 +1,52 @@
+"""repro — reproduction of C2LSH (SIGMOD 2012).
+
+C2LSH answers c-approximate k-nearest-neighbor queries in high-dimensional
+Euclidean space with *dynamic collision counting*: ``m`` single-function
+hash tables, a collision threshold ``l``, and virtual rehashing across the
+radius grid ``{1, c, c^2, ...}``. See DESIGN.md for the system inventory
+and README.md for a quickstart.
+
+Public API highlights::
+
+    from repro import C2LSH, QALSH, LinearScan, E2LSH, LSBForest
+    from repro import PageManager, design_params
+    from repro.data import mnist_like, exact_knn
+"""
+
+from .baselines import E2LSH, LinearScan, LSBForest, MultiProbeLSH
+from .core import (
+    C2LSH,
+    C2LSHParams,
+    QALSH,
+    QueryResult,
+    QueryStats,
+    design_params,
+)
+from .hashing import (
+    BitSamplingFamily,
+    LSHFamily,
+    PStableFamily,
+    SignRandomProjectionFamily,
+)
+from .storage import PageManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "C2LSH",
+    "QALSH",
+    "C2LSHParams",
+    "design_params",
+    "QueryResult",
+    "QueryStats",
+    "LinearScan",
+    "E2LSH",
+    "LSBForest",
+    "MultiProbeLSH",
+    "LSHFamily",
+    "PStableFamily",
+    "SignRandomProjectionFamily",
+    "BitSamplingFamily",
+    "PageManager",
+    "__version__",
+]

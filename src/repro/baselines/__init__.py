@@ -1,0 +1,9 @@
+"""Comparator methods: exact scan, E2LSH, Multi-Probe LSH, LSB-forest."""
+
+from .e2lsh import E2LSH
+from .linear import LinearScan
+from .lsb import LSBForest
+from .multiprobe import MultiProbeLSH, perturbation_sequence
+
+__all__ = ["LinearScan", "E2LSH", "LSBForest", "MultiProbeLSH",
+           "perturbation_sequence"]

@@ -1,0 +1,86 @@
+"""Exact linear scan baseline.
+
+Computes exact k-NN by scanning the whole data file. Serves both as the
+accuracy floor in every experiment (ratio exactly 1.0) and as the I/O
+ceiling: a scan costs ``pages_for(n, dim * 8)`` sequential reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.results import QueryResult, QueryStats
+from ..validation import as_data_matrix, as_query_vector
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan:
+    """Brute-force exact search under a pluggable metric.
+
+    Parameters
+    ----------
+    metric:
+        ``"euclidean"`` (default) or a callable ``(points, query) -> dists``.
+    page_manager:
+        Optional I/O accounting.
+    """
+
+    def __init__(self, metric="euclidean", page_manager=None):
+        if metric == "euclidean":
+            self._distance = _euclidean
+        elif callable(metric):
+            self._distance = metric
+        else:
+            raise ValueError(f"unsupported metric: {metric!r}")
+        self._pm = page_manager
+        self._data = None
+
+    def fit(self, data):
+        """Store the data matrix (and charge its file write); returns self."""
+        data = as_data_matrix(data)
+        self._data = data
+        if self._pm is not None:
+            self._pm.charge_write(
+                self._pm.pages_for(data.shape[0], data.shape[1] * 8)
+            )
+        return self
+
+    @property
+    def is_fitted(self):
+        """Whether fit() has been called."""
+        return self._data is not None
+
+    def query(self, query, k=1):
+        """Scan everything and return the exact top-k."""
+        if not self.is_fitted:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        n, dim = self._data.shape
+        query = as_query_vector(query, dim)
+        stats = QueryStats(candidates=n, scanned_entries=n,
+                           terminated_by="scan")
+        snapshot = self._pm.snapshot() if self._pm is not None else None
+        if self._pm is not None:
+            self._pm.charge_sequential_read(n, dim * 8)
+        dists = self._distance(self._data, query)
+        if snapshot is not None:
+            delta_io = self._pm.since(snapshot)
+            stats.io_reads = delta_io.reads
+            stats.io_writes = delta_io.writes
+        return QueryResult.from_candidates(
+            np.arange(n, dtype=np.int64), dists, k, stats
+        )
+
+    def query_batch(self, queries, k=1):
+        """Answer many queries; returns a list of QueryResult."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("queries must have shape (q, dim)")
+        return [self.query(q, k=k) for q in queries]
+
+
+def _euclidean(points, query):
+    diff = points - query
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))

@@ -1,0 +1,37 @@
+"""The paper's contribution: C2LSH and its parameter/counting machinery."""
+
+from .c2lsh import C2LSH
+from .counting import CollisionCounter, QueryCounter
+from .explain import QueryExplanation, RoundTrace, explain
+from .params import C2LSHParams, design_params, optimal_alpha, required_m
+from .persist import load_c2lsh, load_qalsh, save_c2lsh, save_qalsh
+from .qalsh import QALSH, qalsh_collision_probability, qalsh_optimal_w
+from .tuning import TrialResult, TuningResult, tune_c2lsh
+from .updatable import UpdatableC2LSH
+from .results import QueryResult, QueryStats
+
+__all__ = [
+    "C2LSH",
+    "QALSH",
+    "C2LSHParams",
+    "design_params",
+    "optimal_alpha",
+    "required_m",
+    "CollisionCounter",
+    "QueryCounter",
+    "QueryResult",
+    "QueryStats",
+    "save_c2lsh",
+    "load_c2lsh",
+    "save_qalsh",
+    "load_qalsh",
+    "qalsh_collision_probability",
+    "qalsh_optimal_w",
+    "tune_c2lsh",
+    "TuningResult",
+    "TrialResult",
+    "UpdatableC2LSH",
+    "explain",
+    "QueryExplanation",
+    "RoundTrace",
+]

@@ -1,0 +1,347 @@
+"""The C2LSH index: dynamic collision counting for c-approximate k-NN.
+
+Usage::
+
+    import numpy as np
+    from repro import C2LSH
+
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((10_000, 32))
+    index = C2LSH(c=2, seed=0).fit(data)
+    result = index.query(data[0], k=10)
+    result.ids, result.distances, result.stats
+
+The index builds ``m`` single-function hash tables (``m`` chosen by the
+Hoeffding-bound machinery in :mod:`repro.core.params`), then answers a query
+by growing the search radius through ``{1, c, c^2, ...}`` and *verifying*
+every object that collides with the query in at least ``l`` tables. It
+terminates when enough verified candidates are provably close (**T1**) or
+when the false-positive budget is exhausted (**T2**), which yields the
+paper's ``c^2``-approximation guarantee with probability ``1/2 - delta``.
+
+With a non-rehashable family (sign projections, bit sampling) the index runs
+in single-granularity mode: one counting round at the base granularity, then
+a graceful fallback that verifies objects in decreasing collision-count
+order until ``k`` answers exist. This family-independence mode is an
+extension beyond the 2012 paper (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.pstable import PStableFamily
+from ..validation import as_data_matrix, as_query_vector, require_finite
+from ..storage.datafile import DataFile
+from .counting import CollisionCounter
+from .scaling import resolve_base_radius
+from .params import C2LSHParams, design_params
+from .results import QueryResult, QueryStats
+
+__all__ = ["C2LSH"]
+
+#: Hard cap on radius-expansion rounds; 2**64 exceeds any int64 id span.
+_MAX_ROUNDS = 64
+
+
+class C2LSH:
+    """Locality-sensitive hashing with dynamic collision counting.
+
+    Parameters
+    ----------
+    family:
+        An :class:`repro.hashing.LSHFamily`. Defaults to a
+        :class:`PStableFamily` (Euclidean) constructed at :meth:`fit` time
+        with width ``w`` (or the rho-minimizing width for ``c``).
+    c:
+        Integer approximation ratio (the guarantee is ``c**2``).
+    w:
+        Bucket width for the default family; ignored when ``family`` given.
+    beta, delta, alpha, m:
+        Parameter overrides forwarded to
+        :func:`repro.core.params.design_params`.
+    seed:
+        Seed for the hash-function sample (or pass a ``Generator`` as
+        ``rng``).
+    page_manager:
+        Optional :class:`repro.storage.PageManager`; enables I/O accounting.
+    base_radius:
+        The dataset's near-distance unit. ``"auto"`` (default) estimates it
+        from a sample at :meth:`fit` time (see :mod:`repro.core.scaling`);
+        points are divided by it before hashing so the radius grid
+        ``{1, c, ...}`` starts at nearest-neighbor scale. Only applied to
+        Euclidean families.
+    data_layout:
+        Placement policy of the raw-vector file: ``"scattered"`` (default,
+        the paper's one-page-per-candidate model), ``"id"`` or ``"zorder"``
+        (charge per distinct page; see :class:`repro.storage.DataFile` and
+        the A5 ablation).
+    incremental:
+        When false, recount from scratch at every radius (A2 ablation).
+    use_t1:
+        When false, disable the T1 ("k candidates within c*R") stopping
+        rule; search then runs until the false-positive budget fills or the
+        tables are exhausted (A4 ablation).
+    """
+
+    def __init__(self, family=None, c=2, w=None, beta=None, delta=0.01,
+                 alpha=None, m=None, seed=None, rng=None, page_manager=None,
+                 base_radius="auto", data_layout="scattered",
+                 incremental=True, use_t1=True):
+        self._family = family
+        self._c = int(c)
+        self._w = w
+        self._beta = beta
+        self._delta = delta
+        self._alpha = alpha
+        self._m_override = m
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self._rng = rng
+        self._pm = page_manager
+        self._base_radius = base_radius
+        self._data_layout = data_layout
+        self._scale = 1.0
+        self._incremental = bool(incremental)
+        self._use_t1 = bool(use_t1)
+
+        self.params: C2LSHParams | None = None
+        self._data = None
+        self._datafile = None
+        self._funcs = None
+        self._counter = None
+
+    # -- indexing ------------------------------------------------------------
+
+    def fit(self, data):
+        """Build the index over ``data`` of shape ``(n, dim)``; returns self."""
+        data = as_data_matrix(data)
+        n, dim = data.shape
+        if self._family is None:
+            self._family = PStableFamily(dim, w=self._w, c=self._c)
+        if self._family.metric in ("euclidean", "manhattan"):
+            self._scale = resolve_base_radius(self._base_radius, data,
+                                              self._rng,
+                                              metric=self._family.metric)
+        else:
+            self._scale = 1.0
+        self.params = design_params(
+            n, self._family, c=self._c, beta=self._beta, delta=self._delta,
+            alpha=self._alpha, m=self._m_override,
+        )
+        self._data = data
+        self._funcs = self._family.sample(self.params.m, self._rng)
+        bucket_ids = self._funcs.hash(self._hash_view(data))
+        self._counter = CollisionCounter(bucket_ids, self._pm)
+        # The data file charges its own build write and verification reads.
+        self._datafile = DataFile(data, self._pm, layout=self._data_layout)
+        return self
+
+    @property
+    def is_fitted(self):
+        """Whether fit() has been called."""
+        return self._counter is not None
+
+    def _require_fitted(self):
+        if not self.is_fitted:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+
+    @property
+    def m(self):
+        """Number of hash tables the fitted index uses."""
+        self._require_fitted()
+        return self.params.m
+
+    @property
+    def l(self):
+        """Collision threshold of the fitted index."""
+        self._require_fitted()
+        return self.params.l
+
+    def index_pages(self):
+        """Pages occupied by the hash tables (excluding the raw data file)."""
+        self._require_fitted()
+        if self._pm is None:
+            raise RuntimeError("index was built without a page manager")
+        return self._counter.storage_pages(self._pm)
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, query, k=1):
+        """Answer a c-k-ANN query; returns a :class:`QueryResult`."""
+        self._require_fitted()
+        query = as_query_vector(query, self._data.shape[1])
+        return self._query_hashed(
+            query, self._funcs.hash(self._hash_view(query)), k
+        )
+
+    def _query_hashed(self, query, query_bucket_ids, k):
+        """Query with precomputed bucket ids (batch path hashes once)."""
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        n = self._data.shape[0]
+        params = self.params
+        target = min(n, k + params.false_positive_budget)  # T2 threshold
+        snapshot = self._pm.snapshot() if self._pm is not None else None
+
+        counter = self._counter.start_query(
+            query_bucket_ids, incremental=self._incremental,
+        )
+        is_candidate = np.zeros(n, dtype=bool)
+        cand_ids = []
+        cand_dists = []
+        n_candidates = 0
+        stats = QueryStats()
+        rehashable = self._funcs.rehashable
+
+        radius = 1
+        while True:
+            touched = counter.expand(radius)
+            stats.rounds += 1
+            stats.final_radius = radius
+            stats.scanned_entries += int(touched.size)
+
+            fresh = counter.newly_frequent(params.l)
+            fresh = fresh[~is_candidate[fresh]]
+            if fresh.size:
+                dists = self._verify(fresh, query)
+                is_candidate[fresh] = True
+                cand_ids.append(fresh)
+                cand_dists.append(dists)
+                n_candidates += fresh.size
+
+            if n_candidates >= target:
+                stats.terminated_by = "T2"
+                break
+            if self._use_t1 and rehashable and n_candidates >= k:
+                threshold = params.c * radius * self._scale
+                within = sum(
+                    int(np.count_nonzero(d <= threshold))
+                    for d in cand_dists
+                )
+                if within >= k:
+                    stats.terminated_by = "T1"
+                    break
+            if not rehashable or counter.exhausted or stats.rounds >= _MAX_ROUNDS:
+                stats.terminated_by = "exhausted"
+                break
+            radius *= params.c
+
+        if n_candidates < k:
+            # Graceful fallback (single-granularity families, tiny n): verify
+            # the best-counted remaining objects until k answers exist.
+            remaining = np.flatnonzero(~is_candidate)
+            if remaining.size:
+                order = np.argsort(-counter.counts[remaining], kind="stable")
+                need = min(k - n_candidates + params.false_positive_budget,
+                           remaining.size)
+                extra = remaining[order[:need]]
+                cand_ids.append(extra)
+                cand_dists.append(self._verify(extra, query))
+                n_candidates += extra.size
+                stats.terminated_by = "fallback"
+
+        stats.candidates = n_candidates
+        if snapshot is not None:
+            delta_io = self._pm.since(snapshot)
+            stats.io_reads = delta_io.reads
+            stats.io_writes = delta_io.writes
+
+        ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
+        dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
+        return QueryResult.from_candidates(ids, dists, k, stats)
+
+    def query_radius(self, query, radius, k=1):
+        """Answer the decision-version (R, c)-NNS the paper formalizes.
+
+        Runs a *single* virtual-rehashing level — the smallest grid power
+        ``c^i >= radius`` (in base-radius units; ``radius`` itself is in
+        original distance units) — and verifies frequent objects until
+        ``k`` of them lie within ``c * radius`` (success) or the
+        false-positive budget fills.
+
+        Returns a :class:`QueryResult` holding up to ``k`` objects within
+        ``c * radius`` of ``query``; an **empty** result means "no point
+        within ``radius``" in the (R, c)-NNS sense (correct with the usual
+        probability when no point is within ``radius``; undefined in the
+        gap zone).
+        """
+        self._require_fitted()
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if not self._funcs.rehashable:
+            raise ValueError(
+                "query_radius needs a rehashable (quantized-projection) "
+                "family"
+            )
+        query = as_query_vector(query, self._data.shape[1])
+        params = self.params
+        grid_radius = 1
+        while grid_radius * self._scale < radius:
+            grid_radius *= params.c
+        target = min(self._data.shape[0],
+                     k + params.false_positive_budget)
+        snapshot = self._pm.snapshot() if self._pm is not None else None
+
+        counter = self._counter.start_query(
+            self._funcs.hash(self._hash_view(query)),
+            incremental=self._incremental,
+        )
+        touched = counter.expand(grid_radius)
+        frequent = counter.frequent(params.l)[:target]
+        dists = self._verify(frequent, query)
+        keep = dists <= params.c * radius
+        stats = QueryStats(rounds=1, final_radius=grid_radius,
+                           candidates=int(frequent.size),
+                           scanned_entries=int(touched.size),
+                           terminated_by="decision")
+        if snapshot is not None:
+            delta_io = self._pm.since(snapshot)
+            stats.io_reads = delta_io.reads
+            stats.io_writes = delta_io.writes
+        return QueryResult.from_candidates(
+            frequent[keep], dists[keep], k, stats
+        ) if np.any(keep) else QueryResult(
+            np.empty(0, np.int64), np.empty(0), stats
+        )
+
+    @property
+    def base_radius(self):
+        """The distance unit the radius grid is expressed in."""
+        self._require_fitted()
+        return self._scale
+
+    def _hash_view(self, points):
+        """Points in radius-grid units (hashing only; never verification)."""
+        if self._scale == 1.0:
+            return points
+        return points / self._scale
+
+    def _verify(self, ids, query):
+        """True distances for ``ids``, charging reads per the data layout."""
+        return self._family.distance(self._datafile.read(ids), query)
+
+    def query_batch(self, queries, k=1):
+        """Answer many queries; returns a list of :class:`QueryResult`.
+
+        Hashing is batched: one ``(q, m)`` matrix product instead of ``q``
+        separate ones, which matters when ``m`` is in the hundreds.
+        """
+        self._require_fitted()
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"queries must have shape (q, {self._data.shape[1]})"
+            )
+        require_finite(queries, "queries")
+        all_ids = self._funcs.hash(self._hash_view(queries))
+        return [self._query_hashed(q, qids, k)
+                for q, qids in zip(queries, all_ids)]
+
+    def __repr__(self):
+        if not self.is_fitted:
+            return f"C2LSH(c={self._c}, unfitted)"
+        return (f"C2LSH(n={self._data.shape[0]}, dim={self._data.shape[1]}, "
+                f"m={self.params.m}, l={self.params.l}, c={self.params.c})")

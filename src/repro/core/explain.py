@@ -1,0 +1,163 @@
+"""EXPLAIN for C2LSH queries: a per-round trace of the search.
+
+Debugging an approximate index means answering "why did this query stop
+where it did?". :func:`explain` re-runs a query while recording, per radius
+round: the grid radius, entries scanned, objects that crossed the
+collision threshold, the closest verified distance so far, the state of
+both termination rules, and the I/O bill — then renders it as a table.
+
+The trace drives the *real* engine (it reuses the index's counter and
+verification paths), so what it shows is exactly what ``query`` did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.reporting import Table
+from ..validation import as_query_vector
+
+__all__ = ["RoundTrace", "QueryExplanation", "explain"]
+
+
+@dataclass
+class RoundTrace:
+    """What one radius round did."""
+
+    radius: int
+    scanned_entries: int
+    new_candidates: int
+    total_candidates: int
+    best_distance: float
+    t1_threshold: float
+    within_t1: int
+    io_reads: int
+
+
+@dataclass
+class QueryExplanation:
+    """Full account of one query's execution."""
+
+    rounds: list
+    terminated_by: str
+    k: int
+    target: int          # the T2 candidate cap (k + beta*n)
+    result_ids: np.ndarray
+    result_distances: np.ndarray
+
+    def render(self):
+        """The trace as an aligned text table plus a verdict line."""
+        table = Table(
+            ["round", "radius", "scanned", "new_cand", "total_cand",
+             "best_dist", "T1_thresh", "within_T1", "io_pages"],
+            title=f"Query explanation (k={self.k}, "
+                  f"T2 cap={self.target})",
+        )
+        for i, r in enumerate(self.rounds, start=1):
+            table.add(i, r.radius, r.scanned_entries, r.new_candidates,
+                      r.total_candidates,
+                      f"{r.best_distance:.4f}" if np.isfinite(
+                          r.best_distance) else "-",
+                      f"{r.t1_threshold:.4f}", r.within_t1, r.io_reads)
+        verdict = {
+            "T1": "stopped by T1: enough verified candidates within c*R",
+            "T2": "stopped by T2: the false-positive budget filled",
+            "exhausted": "stopped because the tables were exhausted",
+            "fallback": "fell back to count-ordered verification",
+        }.get(self.terminated_by, self.terminated_by)
+        return table.render() + f"\n=> {verdict}"
+
+    def print(self, file=None):
+        """Print the rendered explanation."""
+        print(self.render(), file=file)
+
+
+def explain(index, query, k=1):
+    """Trace one C2LSH query round by round.
+
+    Parameters
+    ----------
+    index:
+        A fitted :class:`repro.core.c2lsh.C2LSH` over a rehashable family.
+    query, k:
+        As for ``index.query``.
+
+    Returns
+    -------
+    QueryExplanation
+    """
+    index._require_fitted()
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if not index._funcs.rehashable:
+        raise ValueError("explain requires a rehashable family "
+                         "(radius rounds do not exist otherwise)")
+    query = as_query_vector(query, index._data.shape[1])
+    params = index.params
+    n = index._data.shape[0]
+    target = min(n, k + params.false_positive_budget)
+    pm = index._pm
+
+    counter = index._counter.start_query(
+        index._funcs.hash(index._hash_view(query)),
+        incremental=index._incremental,
+    )
+    is_candidate = np.zeros(n, dtype=bool)
+    cand_ids, cand_dists = [], []
+    n_candidates = 0
+    rounds = []
+    terminated = "exhausted"
+
+    radius = 1
+    for _ in range(64):
+        before = pm.snapshot() if pm is not None else None
+        touched = counter.expand(radius)
+        fresh = counter.newly_frequent(params.l)
+        fresh = fresh[~is_candidate[fresh]]
+        if fresh.size:
+            dists = index._verify(fresh, query)
+            is_candidate[fresh] = True
+            cand_ids.append(fresh)
+            cand_dists.append(dists)
+            n_candidates += fresh.size
+
+        threshold = params.c * radius * index._scale
+        within = sum(int(np.count_nonzero(d <= threshold))
+                     for d in cand_dists)
+        best = min((float(d.min()) for d in cand_dists if d.size),
+                   default=float("inf"))
+        rounds.append(RoundTrace(
+            radius=radius,
+            scanned_entries=int(touched.size),
+            new_candidates=int(fresh.size),
+            total_candidates=n_candidates,
+            best_distance=best,
+            t1_threshold=threshold,
+            within_t1=within,
+            io_reads=pm.since(before).reads if pm is not None else 0,
+        ))
+
+        if n_candidates >= target:
+            terminated = "T2"
+            break
+        if index._use_t1 and n_candidates >= k and within >= k:
+            terminated = "T1"
+            break
+        if counter.exhausted:
+            terminated = "exhausted"
+            break
+        radius *= params.c
+
+    if n_candidates < k:
+        terminated = "fallback"
+
+    from .results import QueryResult
+    ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
+    dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
+    result = QueryResult.from_candidates(ids, dists, k)
+    return QueryExplanation(
+        rounds=rounds, terminated_by=terminated, k=k, target=target,
+        result_ids=result.ids, result_distances=result.distances,
+    )

@@ -1,0 +1,222 @@
+"""C2LSH parameter machinery.
+
+C2LSH declares an object *frequent* (a candidate) when it collides with the
+query under at least ``l`` of ``m`` single hash functions. The paper sets
+``m`` and the collision-threshold percentage ``alpha = l/m`` from two
+Hoeffding bounds so that, at any search radius ``R`` in the grid
+``{1, c, c^2, ...}``:
+
+* **P1 (no false negative):** a point within distance ``R`` of the query
+  reaches ``l`` collisions with probability at least ``1 - delta``;
+* **P2 (few false positives):** at most ``beta * n`` points farther than
+  ``c * R`` become frequent, with probability at least ``1/2``.
+
+With ``p1 = p(1)`` and ``p2 = p(c)`` the base collision probabilities, the
+bounds require::
+
+    m >= ln(1/delta)  / (2 * (p1 - alpha)^2)          (P1)
+    m >= ln(2/beta)   / (2 * (alpha - p2)^2)          (P2)
+
+and the ``m``-minimizing threshold is::
+
+    alpha* = (z * p1 + p2) / (1 + z),   z = sqrt(ln(2/beta) / ln(1/delta))
+
+Virtual rehashing keeps the same ``(m, l)`` valid at every radius because
+the collision probability under the radius-``R`` function depends only on
+``distance / R``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..hashing.probability import rho as rho_exponent
+
+__all__ = ["C2LSHParams", "optimal_alpha", "required_m", "design_params"]
+
+
+def optimal_alpha(p1, p2, beta, delta):
+    """The collision-threshold percentage minimizing ``m``.
+
+    ``alpha* = (z*p1 + p2) / (1 + z)`` with ``z = sqrt(ln(2/beta)/ln(1/delta))``
+    equalizes the two Hoeffding bounds, so neither constraint dominates.
+    """
+    _validate_probabilities(p1, p2, beta, delta)
+    z = math.sqrt(math.log(2.0 / beta) / math.log(1.0 / delta))
+    alpha = (z * p1 + p2) / (1.0 + z)
+    # By construction p2 < alpha < p1; assert to catch numerics.
+    if not (p2 < alpha < p1):
+        raise ArithmeticError(
+            f"computed alpha={alpha} escaped ({p2}, {p1}); "
+            "check beta/delta inputs"
+        )
+    return alpha
+
+
+def required_m(p1, p2, alpha, beta, delta):
+    """Smallest ``m`` satisfying both Hoeffding bounds for threshold ``alpha``."""
+    _validate_probabilities(p1, p2, beta, delta)
+    if not (p2 < alpha < p1):
+        raise ValueError(f"alpha must lie strictly in (p2, p1)=({p2}, {p1})")
+    m_fn = math.log(1.0 / delta) / (2.0 * (p1 - alpha) ** 2)
+    m_fp = math.log(2.0 / beta) / (2.0 * (alpha - p2) ** 2)
+    return int(math.ceil(max(m_fn, m_fp)))
+
+
+def _validate_probabilities(p1, p2, beta, delta):
+    if not (0.0 < p2 < p1 < 1.0):
+        raise ValueError(f"need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}")
+    if not (0.0 < beta < 2.0):
+        raise ValueError(f"false-positive percentage beta must be in (0, 2), got {beta}")
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"error probability delta must be in (0, 1), got {delta}")
+
+
+@dataclass(frozen=True)
+class C2LSHParams:
+    """A complete, validated C2LSH configuration.
+
+    Attributes
+    ----------
+    n:
+        Database cardinality the parameters were designed for.
+    c:
+        Approximation ratio (integer ``>= 2`` so virtual rehashing's bucket
+        merging is exact); the quality guarantee is ``c**2``.
+    w:
+        Bucket width of the base hash functions.
+    p1, p2:
+        Collision probabilities at distance 1 and ``c``.
+    alpha:
+        Collision-threshold percentage, ``p2 < alpha < p1``.
+    m:
+        Number of hash functions / hash tables.
+    l:
+        Absolute collision threshold, ``ceil(alpha * m)``.
+    beta:
+        Allowed false-positive fraction (the paper's default is ``100/n``).
+    delta:
+        Per-query false-negative probability bound.
+    """
+
+    n: int
+    c: int
+    w: float
+    p1: float
+    p2: float
+    alpha: float
+    m: int
+    l: int = field(default=0)
+
+    beta: float = 0.0
+    delta: float = 0.0
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.c < 2 or int(self.c) != self.c:
+            raise ValueError(
+                f"c must be an integer >= 2 for exact virtual rehashing, got {self.c}"
+            )
+        if self.m < 1:
+            raise ValueError(f"m must be positive, got {self.m}")
+        if not (self.p2 < self.alpha < self.p1):
+            raise ValueError(
+                f"alpha={self.alpha} must lie in (p2, p1)=({self.p2}, {self.p1})"
+            )
+        if self.l == 0:
+            # The tiny slack absorbs float noise like 0.55 * 100 == 55.0000…7,
+            # which would otherwise ceil to 56.
+            object.__setattr__(
+                self, "l", int(math.ceil(self.alpha * self.m - 1e-9))
+            )
+        if not (1 <= self.l <= self.m):
+            raise ValueError(f"threshold l={self.l} must lie in [1, m={self.m}]")
+
+    @property
+    def rho(self):
+        """Quality exponent ``ln(1/p1)/ln(1/p2)`` of the underlying family."""
+        return rho_exponent(self.p1, self.p2)
+
+    @property
+    def false_positive_budget(self):
+        """Maximum tolerated number of false positives, ``ceil(beta * n)``."""
+        return int(math.ceil(self.beta * self.n))
+
+    @property
+    def false_negative_bound(self):
+        """Hoeffding bound on P[near point not frequent] at the design point."""
+        return math.exp(-2.0 * self.m * (self.p1 - self.alpha) ** 2)
+
+    @property
+    def false_positive_bound(self):
+        """Hoeffding bound on P[one far point frequent], times ``2/beta = 1``
+        budget margin: the expected number of frequent far points is at most
+        ``n * exp(-2 m (alpha - p2)^2) <= beta*n/2``."""
+        return math.exp(-2.0 * self.m * (self.alpha - self.p2) ** 2)
+
+    @property
+    def success_probability(self):
+        """Lower bound on the (R, c)-NN success probability: ``1/2 - delta``."""
+        return 0.5 - self.delta
+
+    def describe(self):
+        """One-line human-readable summary (used by the harness tables)."""
+        return (
+            f"c={self.c} w={self.w:.3f} p1={self.p1:.4f} p2={self.p2:.4f} "
+            f"alpha={self.alpha:.4f} m={self.m} l={self.l} "
+            f"beta*n={self.false_positive_budget} delta={self.delta:g}"
+        )
+
+
+def design_params(n, family, c=2, beta=None, delta=0.01, alpha=None, m=None):
+    """Design a full C2LSH configuration for a database of size ``n``.
+
+    Parameters
+    ----------
+    n:
+        Database cardinality.
+    family:
+        An :class:`repro.hashing.LSHFamily`; supplies ``p1 = p(r0)`` and
+        ``p2 = p(c * r0)`` at its base radius. For the p-stable family the
+        base radius is distance 1 with bucket width ``family.w``.
+    c:
+        Integer approximation ratio (default 2, as in the paper).
+    beta:
+        Allowed false-positive fraction. Defaults to the paper's
+        ``100 / n`` (clamped below 1).
+    delta:
+        False-negative probability bound (default 0.01).
+    alpha:
+        Override the collision-threshold percentage; defaults to the
+        ``m``-minimizing :func:`optimal_alpha`.
+    m:
+        Override the number of hash functions; must still satisfy
+        ``1 <= l <= m``. Used by ablation studies.
+
+    Returns
+    -------
+    C2LSHParams
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if beta is None:
+        beta = min(100.0 / n, 0.5)
+    base_radius = 1.0
+    if family.metric == "angular":
+        # Angular distances live in [0, pi]; pick a base radius small enough
+        # that c * r0 stays within range.
+        base_radius = math.pi / (2.0 * c)
+    elif family.metric == "hamming":
+        base_radius = max(1.0, family.dim / (4.0 * c))
+    p1, p2 = family.probabilities(c, radius=base_radius)
+    if alpha is None:
+        alpha = optimal_alpha(p1, p2, beta, delta)
+    if m is None:
+        m = required_m(p1, p2, alpha, beta, delta)
+    return C2LSHParams(
+        n=int(n), c=int(c), w=getattr(family, "w", float("nan")),
+        p1=p1, p2=p2, alpha=float(alpha), m=int(m), beta=float(beta),
+        delta=float(delta),
+    )

@@ -1,0 +1,161 @@
+"""Save/load fitted C2LSH and QALSH indexes.
+
+A C2LSH index is fully determined by its data, its sampled hash functions
+(projection matrix, offsets, bucket width), its parameters and its distance
+unit, so persistence is one compressed ``.npz`` file. The sorted hash
+tables are rebuilt on load (an ``O(n m log n)`` argsort — cheaper to redo
+than to store, and bit-identical because hashing is deterministic).
+
+Only the default Euclidean (p-stable) family is supported; custom-family
+indexes carry user callables that have no stable serialized form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.pstable import PStableFamily, PStableFunctions
+from ..storage.datafile import DataFile
+from .c2lsh import C2LSH
+from .counting import CollisionCounter
+from .params import C2LSHParams
+
+__all__ = ["save_c2lsh", "load_c2lsh", "save_qalsh", "load_qalsh"]
+
+_FORMAT_VERSION = 1
+
+
+def save_c2lsh(index, path):
+    """Persist a fitted :class:`C2LSH` index to ``path`` (``.npz``)."""
+    if not index.is_fitted:
+        raise ValueError("cannot save an unfitted index")
+    if not isinstance(index._family, PStableFamily):
+        raise TypeError(
+            "only indexes over the default PStableFamily can be saved, "
+            f"got {type(index._family).__name__}"
+        )
+    p = index.params
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        kind="c2lsh",
+        data=index._data,
+        projections=index._funcs._projections,
+        offsets=index._funcs._offsets,
+        funcs_w=index._funcs.w,
+        family_w=index._family.w,
+        scale=index._scale,
+        params=np.array([p.n, p.c, p.w, p.p1, p.p2, p.alpha, p.m, p.l,
+                         p.beta, p.delta]),
+        incremental=index._incremental,
+        use_t1=index._use_t1,
+    )
+
+
+def load_c2lsh(path, page_manager=None):
+    """Load an index previously written by :func:`save_c2lsh`.
+
+    ``page_manager`` may be supplied to re-enable I/O accounting (the
+    rebuild of the hash tables is charged as index writes, as on a fresh
+    ``fit``).
+    """
+    with np.load(path) as blob:
+        version = int(blob["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        if "kind" in blob and str(blob["kind"]) != "c2lsh":
+            raise ValueError("file does not hold a C2LSH index")
+        data = blob["data"]
+        projections = blob["projections"]
+        offsets = blob["offsets"]
+        funcs_w = float(blob["funcs_w"])
+        family_w = float(blob["family_w"])
+        scale = float(blob["scale"])
+        raw = blob["params"]
+        incremental = bool(blob["incremental"])
+        use_t1 = bool(blob["use_t1"])
+
+    params = C2LSHParams(
+        n=int(raw[0]), c=int(raw[1]), w=float(raw[2]), p1=float(raw[3]),
+        p2=float(raw[4]), alpha=float(raw[5]), m=int(raw[6]), l=int(raw[7]),
+        beta=float(raw[8]), delta=float(raw[9]),
+    )
+    index = C2LSH(c=params.c, page_manager=page_manager,
+                  base_radius=scale, incremental=incremental,
+                  use_t1=use_t1)
+    index._family = PStableFamily(data.shape[1], w=family_w)
+    index._scale = scale
+    index.params = params
+    index._data = np.ascontiguousarray(data)
+    index._funcs = PStableFunctions(projections, offsets, funcs_w)
+    bucket_ids = index._funcs.hash(index._hash_view(index._data))
+    index._counter = CollisionCounter(bucket_ids, page_manager)
+    index._datafile = DataFile(index._data, page_manager)
+    return index
+
+
+def save_qalsh(index, path):
+    """Persist a fitted :class:`repro.core.qalsh.QALSH` index (``.npz``)."""
+    if not index.is_fitted:
+        raise ValueError("cannot save an unfitted index")
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        kind="qalsh",
+        data=index._data,
+        projections=index._funcs._projections,
+        offsets=index._funcs._offsets,
+        funcs_w=index._funcs.w,
+        scale=index._scale,
+        scalars=np.array([index.c, index.w, index.p1, index.p2,
+                          index.alpha, index.m, index.l, index.beta,
+                          index.delta]),
+    )
+
+
+def load_qalsh(path, page_manager=None):
+    """Load an index previously written by :func:`save_qalsh`."""
+    from .qalsh import QALSH
+
+    with np.load(path) as blob:
+        version = int(blob["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        if "kind" not in blob or str(blob["kind"]) != "qalsh":
+            raise ValueError("file does not hold a QALSH index")
+        data = np.ascontiguousarray(blob["data"])
+        projections = blob["projections"]
+        offsets = blob["offsets"]
+        funcs_w = float(blob["funcs_w"])
+        scale = float(blob["scale"])
+        raw = blob["scalars"]
+
+    index = QALSH(c=float(raw[0]), w=float(raw[1]), beta=float(raw[7]),
+                  delta=float(raw[8]), page_manager=page_manager,
+                  base_radius=scale)
+    index.p1, index.p2 = float(raw[2]), float(raw[3])
+    index.alpha = float(raw[4])
+    index.m, index.l = int(raw[5]), int(raw[6])
+    index.beta = float(raw[7])
+    index._scale = scale
+    index._data = data
+    index._funcs = PStableFunctions(projections, offsets, funcs_w)
+    proj = index._funcs.project(data / scale)
+    index._order = np.argsort(proj, axis=0).T.copy()
+    index._sorted_proj = np.take_along_axis(
+        proj, index._order.T, axis=0
+    ).T.copy()
+    if page_manager is not None:
+        index._object_pages = max(
+            1, page_manager.pages_for(1, data.shape[1] * 8))
+        page_manager.charge_write(
+            index.m * page_manager.pages_for(data.shape[0], 12)
+            + page_manager.pages_for(data.shape[0], data.shape[1] * 8)
+        )
+    return index

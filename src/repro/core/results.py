@@ -1,0 +1,75 @@
+"""Result and statistics containers shared by all indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryStats", "QueryResult"]
+
+
+@dataclass
+class QueryStats:
+    """Work performed to answer one query.
+
+    Attributes
+    ----------
+    rounds:
+        Radius-expansion rounds executed (C2LSH/QALSH) or probe rounds.
+    final_radius:
+        Search radius at termination (0 when radii do not apply).
+    candidates:
+        Number of objects whose true distance was computed.
+    scanned_entries:
+        Hash-table / leaf entries read while counting or sweeping.
+    io_reads / io_writes:
+        Page I/O charged during the query (0 in pure in-memory mode).
+    terminated_by:
+        Which rule stopped the search: ``"T1"``, ``"T2"``, ``"exhausted"``
+        or an index-specific label.
+    """
+
+    rounds: int = 0
+    final_radius: int = 0
+    candidates: int = 0
+    scanned_entries: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    terminated_by: str = ""
+
+
+@dataclass
+class QueryResult:
+    """Top-``k`` answer to one query, sorted by ascending distance."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __post_init__(self):
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.distances = np.asarray(self.distances, dtype=np.float64)
+        if self.ids.shape != self.distances.shape:
+            raise ValueError("ids and distances must have the same shape")
+        if self.distances.size > 1 and np.any(np.diff(self.distances) < 0):
+            raise ValueError("result distances must be sorted ascending")
+
+    def __len__(self):
+        return self.ids.shape[0]
+
+    @staticmethod
+    def from_candidates(ids, distances, k, stats=None):
+        """Select the ``k`` nearest of the verified candidates."""
+        ids = np.asarray(ids, dtype=np.int64)
+        distances = np.asarray(distances, dtype=np.float64)
+        if ids.shape != distances.shape:
+            raise ValueError("ids and distances must have the same shape")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if ids.size > k:
+            keep = np.argpartition(distances, k - 1)[:k]
+            ids, distances = ids[keep], distances[keep]
+        order = np.argsort(distances, kind="stable")
+        return QueryResult(ids[order], distances[order],
+                           stats or QueryStats())

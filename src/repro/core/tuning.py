@@ -1,0 +1,136 @@
+"""Automatic parameter tuning for a recall target.
+
+The theory picks ``(m, l)`` for the worst case; practitioners usually want
+the *cheapest* configuration reaching a recall floor on their own data.
+This tuner does what every LSH paper's evaluation does offline — a small
+grid search over the knobs with held-out validation queries — packaged as a
+library call:
+
+    result = tune_c2lsh(data, target_recall=0.9, k=10, seed=0)
+    index = result.build_best().fit(data)
+
+It evaluates each candidate configuration on a validation split under the
+shared page-cost model and returns the cheapest configuration (by I/O per
+query) that reaches the target, along with the full trial log for
+inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.generators import split_queries
+from ..data.groundtruth import exact_knn
+from ..eval.metrics import evaluate_results
+from ..storage.pages import PageManager
+from .c2lsh import C2LSH
+
+__all__ = ["TrialResult", "TuningResult", "tune_c2lsh"]
+
+
+@dataclass
+class TrialResult:
+    """One evaluated configuration."""
+
+    config: dict
+    recall: float
+    ratio: float
+    io_reads: float
+    candidates: float
+
+    @property
+    def cost(self):
+        """The quantity minimized when picking the winner (I/O per query)."""
+        return self.io_reads
+
+
+@dataclass
+class TuningResult:
+    """Outcome of :func:`tune_c2lsh`."""
+
+    best: TrialResult | None
+    trials: list = field(default_factory=list)
+    target_recall: float = 0.0
+    k: int = 1
+
+    @property
+    def reached_target(self):
+        """Whether any trial met the recall floor."""
+        return self.best is not None
+
+    def build_best(self, **extra):
+        """A fresh (unfitted) index with the winning configuration.
+
+        Keyword overrides (e.g. ``page_manager=...``) are merged in. Raises
+        if no configuration reached the target — callers should fall back
+        to the theory defaults in that case.
+        """
+        if self.best is None:
+            raise RuntimeError(
+                f"no configuration reached recall {self.target_recall}; "
+                "fall back to C2LSH() theory defaults"
+            )
+        config = dict(self.best.config)
+        config.update(extra)
+        return C2LSH(**config)
+
+
+def tune_c2lsh(data, target_recall=0.9, k=10, n_validation=30,
+               c_grid=(2, 3), budget_grid=(25, 100, 400), seed=0):
+    """Grid-search C2LSH's knobs for the cheapest recall-reaching config.
+
+    Parameters
+    ----------
+    data:
+        The full dataset; ``n_validation`` rows are held out as validation
+        queries (the returned factory should be fit on the *full* data).
+    target_recall:
+        Recall floor in ``(0, 1]``.
+    k:
+        Neighbors per query the target refers to.
+    c_grid, budget_grid:
+        Approximation ratios and false-positive budgets (absolute counts,
+        converted to ``beta``) to try.
+    seed:
+        Controls the validation split and the trial indexes.
+
+    Returns
+    -------
+    TuningResult
+        ``best`` is the cheapest trial meeting the floor (or None);
+        ``trials`` holds every evaluated configuration.
+    """
+    if not (0.0 < target_recall <= 1.0):
+        raise ValueError(
+            f"target_recall must lie in (0, 1], got {target_recall}"
+        )
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] <= n_validation:
+        raise ValueError(
+            "data must be a (n, dim) matrix with n > n_validation"
+        )
+    train, validation = split_queries(data, n_validation, seed=seed)
+    true_ids, true_dists = exact_knn(train, validation, k)
+
+    trials = []
+    for c in c_grid:
+        for budget in budget_grid:
+            beta = min(budget / train.shape[0], 0.9)
+            config = dict(c=int(c), beta=beta, seed=seed)
+            index = C2LSH(page_manager=PageManager(), **config).fit(train)
+            results = index.query_batch(validation, k=k)
+            summary = evaluate_results(results, true_ids, true_dists, k)
+            trials.append(TrialResult(
+                config=config,
+                recall=summary.recall,
+                ratio=summary.ratio,
+                io_reads=summary.io_reads,
+                candidates=summary.candidates,
+            ))
+
+    eligible = [t for t in trials if t.recall >= target_recall]
+    best = min(eligible, key=lambda t: t.cost) if eligible else None
+    return TuningResult(best=best, trials=trials,
+                        target_recall=target_recall, k=k)

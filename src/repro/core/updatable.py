@@ -1,0 +1,189 @@
+"""Updatable wrapper over the static C2LSH index.
+
+C2LSH's sorted bucket files are bulk-built and immutable — the standard
+trade-off for external-memory range scans. Real deployments still need
+inserts and deletes, and the classical answer is the one implemented here
+(a small LSM-style split):
+
+* **inserts** accumulate in an exactly-searched side buffer; a query merges
+  the main index's answer with a linear scan of the buffer (the buffer is
+  small, so the scan is one or two pages);
+* **deletes** go into a tombstone set filtered out of every answer;
+* when the buffer outgrows ``rebuild_threshold`` (a fraction of the indexed
+  size), the wrapper rebuilds the main index over the live points —
+  amortized O(polylog) per update for any constant fraction.
+
+Ids are stable handles assigned at insert time and never reused, so callers
+can keep external references across rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .c2lsh import C2LSH
+from .results import QueryResult, QueryStats
+
+__all__ = ["UpdatableC2LSH"]
+
+
+class UpdatableC2LSH:
+    """Insert/delete-capable facade over :class:`C2LSH`.
+
+    Parameters
+    ----------
+    rebuild_threshold:
+        Rebuild when the side buffer exceeds this fraction of the indexed
+        point count (default 0.2).
+    min_index_size:
+        Below this many live points everything stays in the buffer
+        (brute force) — too little data for LSH parameters to make sense.
+    **c2lsh_kwargs:
+        Forwarded to every :class:`C2LSH` (re)build, e.g. ``c=2, seed=0``.
+    """
+
+    def __init__(self, rebuild_threshold=0.2, min_index_size=200,
+                 **c2lsh_kwargs):
+        if not (0.0 < rebuild_threshold <= 1.0):
+            raise ValueError(
+                f"rebuild_threshold must lie in (0, 1], got {rebuild_threshold}"
+            )
+        if min_index_size < 1:
+            raise ValueError(
+                f"min_index_size must be positive, got {min_index_size}"
+            )
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.min_index_size = int(min_index_size)
+        if "family" in c2lsh_kwargs:
+            raise ValueError(
+                "UpdatableC2LSH merges buffered points by Euclidean "
+                "distance, so custom families are not supported"
+            )
+        self._kwargs = dict(c2lsh_kwargs)
+        self._dim = None
+        self._index = None          # C2LSH over _indexed rows
+        self._indexed = None        # (n_idx, dim) matrix behind _index
+        self._indexed_ids = np.empty(0, dtype=np.int64)
+        self._buffer = []           # list of (handle, vector)
+        self._deleted = set()
+        self._next_id = 0
+        self.rebuilds = 0
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, points):
+        """Insert one vector or an ``(n, dim)`` batch; returns new handles."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[np.newaxis, :]
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, dim) matrix")
+        if self._dim is None:
+            self._dim = points.shape[1]
+        elif points.shape[1] != self._dim:
+            raise ValueError(
+                f"dimension mismatch: index holds {self._dim}-d points, "
+                f"got {points.shape[1]}-d"
+            )
+        handles = np.arange(self._next_id, self._next_id + points.shape[0],
+                            dtype=np.int64)
+        self._next_id += points.shape[0]
+        self._buffer.extend(zip(handles.tolist(), points))
+        self._maybe_rebuild()
+        return handles
+
+    def delete(self, handles):
+        """Tombstone one handle or an iterable of handles."""
+        if np.isscalar(handles):
+            handles = [handles]
+        for handle in handles:
+            handle = int(handle)
+            if not (0 <= handle < self._next_id):
+                raise KeyError(f"unknown handle {handle}")
+            self._deleted.add(handle)
+
+    def __len__(self):
+        """Number of live (inserted minus deleted) points."""
+        live_buffer = sum(1 for h, _ in self._buffer
+                          if h not in self._deleted)
+        live_indexed = int(np.count_nonzero(
+            ~np.isin(self._indexed_ids, list(self._deleted))
+        )) if self._indexed_ids.size else 0
+        return live_buffer + live_indexed
+
+    def _maybe_rebuild(self):
+        indexed = self._indexed_ids.size
+        buffered = len(self._buffer)
+        if indexed + buffered < self.min_index_size:
+            return
+        if buffered <= self.rebuild_threshold * max(indexed, 1):
+            return
+        self._rebuild()
+
+    def _rebuild(self):
+        rows = []
+        handles = []
+        if self._indexed is not None:
+            for handle, row in zip(self._indexed_ids, self._indexed):
+                if int(handle) not in self._deleted:
+                    rows.append(row)
+                    handles.append(int(handle))
+        for handle, row in self._buffer:
+            if handle not in self._deleted:
+                rows.append(row)
+                handles.append(handle)
+        self._buffer = []
+        self._deleted = set()
+        if not rows:
+            self._index = None
+            self._indexed = None
+            self._indexed_ids = np.empty(0, dtype=np.int64)
+            return
+        self._indexed = np.vstack(rows)
+        self._indexed_ids = np.asarray(handles, dtype=np.int64)
+        self._index = C2LSH(**self._kwargs).fit(self._indexed)
+        self.rebuilds += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, query, k=1):
+        """c-k-ANN over the live points; ids are insert-time handles."""
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if self._dim is None:
+            raise RuntimeError("index is empty; insert points first")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self._dim,):
+            raise ValueError(f"query must have shape ({self._dim},)")
+
+        ids = []
+        dists = []
+        stats = QueryStats(terminated_by="merged")
+        if self._index is not None:
+            main = self._index.query(query, k=k + len(self._deleted))
+            handles = self._indexed_ids[main.ids]
+            live = ~np.isin(handles, list(self._deleted)) \
+                if self._deleted else np.ones(handles.size, dtype=bool)
+            ids.append(handles[live])
+            dists.append(main.distances[live])
+            stats = main.stats
+        live_buffer = [(h, row) for h, row in self._buffer
+                       if h not in self._deleted]
+        if live_buffer:
+            buf_handles = np.array([h for h, _ in live_buffer],
+                                   dtype=np.int64)
+            buf_rows = np.vstack([row for _, row in live_buffer])
+            diff = buf_rows - query
+            ids.append(buf_handles)
+            dists.append(np.sqrt(np.einsum("ij,ij->i", diff, diff)))
+            stats.candidates += len(live_buffer)
+        if not ids:
+            raise RuntimeError("index is empty; insert points first")
+        return QueryResult.from_candidates(
+            np.concatenate(ids), np.concatenate(dists), k, stats
+        )
+
+    def __repr__(self):
+        return (f"UpdatableC2LSH(live={len(self)}, "
+                f"indexed={self._indexed_ids.size}, "
+                f"buffered={len(self._buffer)}, rebuilds={self.rebuilds})")

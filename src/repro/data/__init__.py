@@ -1,0 +1,49 @@
+"""Datasets: synthetic generators, paper-profile substitutes, formats, ground truth."""
+
+from .generators import (
+    as_rng,
+    binary_vectors,
+    correlated_gaussian,
+    gaussian_clusters,
+    histogram_vectors,
+    planted_queries,
+    sparse_nonnegative,
+    split_queries,
+    uniform_hypercube,
+)
+from .groundtruth import exact_knn, pairwise_euclidean
+from .io import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+from .profiles import (
+    PROFILES,
+    Dataset,
+    aerial_like,
+    color_like,
+    load_profile,
+    mnist_like,
+    nus_like,
+)
+
+__all__ = [
+    "as_rng",
+    "gaussian_clusters",
+    "correlated_gaussian",
+    "uniform_hypercube",
+    "binary_vectors",
+    "histogram_vectors",
+    "sparse_nonnegative",
+    "planted_queries",
+    "split_queries",
+    "exact_knn",
+    "pairwise_euclidean",
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "Dataset",
+    "mnist_like",
+    "color_like",
+    "aerial_like",
+    "nus_like",
+    "PROFILES",
+    "load_profile",
+]

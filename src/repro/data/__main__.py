@@ -1,0 +1,94 @@
+"""Dataset CLI: generate profile datasets and exact ground truth as files.
+
+Exports the synthetic profiles (and their held-out queries / exact k-NN)
+in the ecosystem-standard fvecs/ivecs formats so they can be consumed by
+external tools — or regenerated bit-identically from a seed by anyone
+reproducing the experiments.
+
+Usage::
+
+    python -m repro.data generate mnist --scale 0.1 --out-dir datasets/
+    python -m repro.data groundtruth datasets/mnist-like.base.fvecs \
+        datasets/mnist-like.query.fvecs --k 100 --out datasets/mnist-like.gt
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from .groundtruth import exact_knn
+from .io import read_fvecs, write_fvecs, write_ivecs
+from .profiles import PROFILES, load_profile
+
+__all__ = ["main"]
+
+
+def cmd_generate(args):
+    dataset = load_profile(args.profile, scale=args.scale,
+                           n_queries=args.queries, seed=args.seed)
+    os.makedirs(args.out_dir, exist_ok=True)
+    base = os.path.join(args.out_dir, dataset.name)
+    write_fvecs(f"{base}.base.fvecs", dataset.data)
+    write_fvecs(f"{base}.query.fvecs", dataset.queries)
+    print(f"wrote {base}.base.fvecs   ({dataset.n} x {dataset.dim})")
+    print(f"wrote {base}.query.fvecs  ({dataset.queries.shape[0]} x "
+          f"{dataset.dim})")
+    if args.k:
+        ids, dists = dataset.ground_truth(args.k)
+        write_ivecs(f"{base}.gt.ivecs", ids.astype(np.int32))
+        write_fvecs(f"{base}.gt.fvecs", dists)
+        print(f"wrote {base}.gt.ivecs / .gt.fvecs (top-{args.k} exact)")
+    return 0
+
+
+def cmd_groundtruth(args):
+    data = read_fvecs(args.base)
+    queries = read_fvecs(args.queries_file)
+    ids, dists = exact_knn(data, queries, args.k, metric=args.metric)
+    write_ivecs(f"{args.out}.ivecs", ids.astype(np.int32))
+    write_fvecs(f"{args.out}.fvecs", dists)
+    print(f"wrote {args.out}.ivecs / {args.out}.fvecs "
+          f"({queries.shape[0]} queries, top-{args.k})")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.data",
+        description="Generate benchmark datasets and exact ground truth.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a profile dataset to disk")
+    gen.add_argument("profile", choices=sorted(PROFILES))
+    gen.add_argument("--scale", type=float, default=0.1)
+    gen.add_argument("--queries", type=int, default=50)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--k", type=int, default=100,
+                     help="also write top-k exact ground truth (0 = skip)")
+    gen.add_argument("--out-dir", default="datasets")
+    gen.set_defaults(func=cmd_generate)
+
+    gt = sub.add_parser("groundtruth",
+                        help="exact k-NN for existing fvecs files")
+    gt.add_argument("base", help="base vectors (.fvecs)")
+    gt.add_argument("queries_file", help="query vectors (.fvecs)")
+    gt.add_argument("--k", type=int, default=100)
+    gt.add_argument("--metric", default="euclidean",
+                    choices=["euclidean", "angular", "hamming"])
+    gt.add_argument("--out", default="groundtruth")
+    gt.set_defaults(func=cmd_groundtruth)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Synthetic dataset generators.
+
+The original C2LSH evaluation used real image/audio feature collections we
+cannot ship; these generators produce laptop-scale substitutes with the
+geometric character that matters to LSH behaviour — clustered mass, low
+intrinsic dimensionality inside a higher ambient dimension, non-negative
+histogram-like coordinates, or sparse bag-of-features vectors
+(see DESIGN.md §5 for the substitution argument).
+
+Every generator takes an explicit seed or ``numpy.random.Generator`` so
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "gaussian_clusters",
+    "correlated_gaussian",
+    "uniform_hypercube",
+    "binary_vectors",
+    "histogram_vectors",
+    "sparse_nonnegative",
+    "planted_queries",
+    "split_queries",
+]
+
+
+def as_rng(seed_or_rng):
+    """Normalize a seed / Generator / None into a ``numpy.random.Generator``."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def _check_shape(n, dim):
+    if n < 1 or dim < 1:
+        raise ValueError(f"need n >= 1 and dim >= 1, got n={n}, dim={dim}")
+
+
+def gaussian_clusters(n, dim, n_clusters=10, cluster_std=1.0, spread=10.0,
+                      anisotropy=0.0, seed=None):
+    """Mixture of Gaussian clusters, optionally anisotropic.
+
+    ``anisotropy`` in ``[0, 1)`` shrinks the variance of later coordinates
+    geometrically, lowering the intrinsic dimensionality (feature vectors of
+    real images behave this way).
+    """
+    _check_shape(n, dim)
+    if n_clusters < 1:
+        raise ValueError(f"need at least one cluster, got {n_clusters}")
+    if not (0.0 <= anisotropy < 1.0):
+        raise ValueError(f"anisotropy must lie in [0, 1), got {anisotropy}")
+    rng = as_rng(seed)
+    centers = rng.uniform(-spread, spread, size=(n_clusters, dim))
+    assignment = rng.integers(0, n_clusters, size=n)
+    scales = cluster_std * (1.0 - anisotropy) ** np.arange(dim)
+    noise = rng.standard_normal((n, dim)) * scales
+    return centers[assignment] + noise
+
+
+def correlated_gaussian(n, dim, decay=0.9, seed=None):
+    """Zero-mean Gaussian with AR(1)-style coordinate correlation ``decay``."""
+    _check_shape(n, dim)
+    if not (0.0 <= decay < 1.0):
+        raise ValueError(f"decay must lie in [0, 1), got {decay}")
+    rng = as_rng(seed)
+    data = np.empty((n, dim))
+    data[:, 0] = rng.standard_normal(n)
+    innovation_scale = np.sqrt(1.0 - decay * decay)
+    for j in range(1, dim):
+        data[:, j] = decay * data[:, j - 1] \
+            + innovation_scale * rng.standard_normal(n)
+    return data
+
+
+def uniform_hypercube(n, dim, low=0.0, high=1.0, seed=None):
+    """I.i.d. uniform coordinates — the LSH worst case (no cluster structure)."""
+    _check_shape(n, dim)
+    if high <= low:
+        raise ValueError(f"need high > low, got [{low}, {high}]")
+    rng = as_rng(seed)
+    return rng.uniform(low, high, size=(n, dim))
+
+
+def histogram_vectors(n, dim, concentration=0.5, scale=100.0, seed=None):
+    """Non-negative rows summing to ``scale`` (color-histogram geometry).
+
+    Drawn from a symmetric Dirichlet; small ``concentration`` makes
+    histograms peaky, like real HSV color histograms.
+    """
+    _check_shape(n, dim)
+    if concentration <= 0:
+        raise ValueError(f"concentration must be positive, got {concentration}")
+    rng = as_rng(seed)
+    rows = rng.dirichlet(np.full(dim, concentration), size=n)
+    return rows * scale
+
+
+def sparse_nonnegative(n, dim, density=0.05, value_scale=5.0, seed=None):
+    """Sparse non-negative vectors (bag-of-visual-words geometry)."""
+    _check_shape(n, dim)
+    if not (0.0 < density <= 1.0):
+        raise ValueError(f"density must lie in (0, 1], got {density}")
+    rng = as_rng(seed)
+    mask = rng.random((n, dim)) < density
+    values = rng.exponential(value_scale, size=(n, dim))
+    return np.where(mask, values, 0.0)
+
+
+def binary_vectors(n, dim, ones_fraction=0.5, n_clusters=0, flip=0.05,
+                   seed=None):
+    """Random (optionally clustered) binary vectors for Hamming-space tests.
+
+    With ``n_clusters > 0``, rows are noisy copies of cluster prototypes:
+    each bit of the prototype flips with probability ``flip``, giving
+    controlled Hamming neighborhoods.
+    """
+    _check_shape(n, dim)
+    if not (0.0 < ones_fraction < 1.0):
+        raise ValueError(
+            f"ones_fraction must lie in (0, 1), got {ones_fraction}"
+        )
+    rng = as_rng(seed)
+    if n_clusters <= 0:
+        return (rng.random((n, dim)) < ones_fraction).astype(np.int64)
+    if not (0.0 <= flip < 0.5):
+        raise ValueError(f"flip must lie in [0, 0.5), got {flip}")
+    prototypes = (rng.random((n_clusters, dim)) < ones_fraction)
+    assignment = rng.integers(0, n_clusters, size=n)
+    flips = rng.random((n, dim)) < flip
+    return (prototypes[assignment] ^ flips).astype(np.int64)
+
+
+def planted_queries(data, n_queries, noise_std=0.1, seed=None):
+    """Queries planted next to random data points (known-near-neighbor regime).
+
+    Useful for tests that need a guaranteed close neighbor at a controlled
+    distance scale.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("data must be a non-empty (n, dim) matrix")
+    if n_queries < 1:
+        raise ValueError(f"need at least one query, got {n_queries}")
+    rng = as_rng(seed)
+    anchors = rng.integers(0, data.shape[0], size=n_queries)
+    noise = rng.standard_normal((n_queries, data.shape[1])) * noise_std
+    return data[anchors] + noise, anchors
+
+
+def split_queries(data, n_queries, seed=None):
+    """Hold out ``n_queries`` random rows as queries; return (rest, queries).
+
+    This mirrors the papers' protocol of sampling queries from the dataset's
+    own test split.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be a (n, dim) matrix")
+    n = data.shape[0]
+    if not (1 <= n_queries < n):
+        raise ValueError(
+            f"n_queries must lie in [1, n), got {n_queries} for n={n}"
+        )
+    rng = as_rng(seed)
+    chosen = rng.choice(n, size=n_queries, replace=False)
+    mask = np.zeros(n, dtype=bool)
+    mask[chosen] = True
+    return data[~mask], data[mask]

@@ -1,0 +1,124 @@
+"""Exact k-nearest-neighbor ground truth.
+
+Blocked brute force over numpy: memory stays bounded at
+``block * n`` distance entries while throughput stays BLAS-bound, which is
+what makes paper-size ground truth feasible in pure Python (the repro band's
+"numpy works" observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exact_knn", "pairwise_euclidean"]
+
+
+def pairwise_euclidean(data, queries):
+    """Dense ``(q, n)`` Euclidean distance matrix (use for small inputs)."""
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if data.ndim != 2 or queries.shape[1] != data.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: data {data.shape}, queries {queries.shape}"
+        )
+    data_sq = np.einsum("ij,ij->i", data, data)
+    query_sq = np.einsum("ij,ij->i", queries, queries)
+    sq = query_sq[:, None] + data_sq[None, :] - 2.0 * (queries @ data.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def _angular_matrix(data, queries):
+    data_norm = np.linalg.norm(data, axis=1)
+    query_norm = np.linalg.norm(queries, axis=1)
+    if np.any(data_norm == 0) or np.any(query_norm == 0):
+        raise ValueError("angular distance is undefined for zero vectors")
+    cosine = (queries @ data.T) / (query_norm[:, None] * data_norm[None, :])
+    return np.arccos(np.clip(cosine, -1.0, 1.0))
+
+
+def _hamming_matrix(data, queries):
+    return np.array([
+        np.count_nonzero(data != q, axis=1) for q in queries
+    ], dtype=np.float64)
+
+
+def _manhattan_matrix(data, queries):
+    return np.array([
+        np.abs(data - q).sum(axis=1) for q in queries
+    ], dtype=np.float64)
+
+
+_METRIC_MATRICES = {
+    "euclidean": pairwise_euclidean,
+    "angular": _angular_matrix,
+    "hamming": _hamming_matrix,
+    "manhattan": _manhattan_matrix,
+}
+
+
+def exact_knn(data, queries, k, block=256, metric="euclidean"):
+    """Exact k-NN ids and distances for every query.
+
+    Parameters
+    ----------
+    data:
+        ``(n, dim)`` matrix.
+    queries:
+        ``(q, dim)`` matrix (or a single ``(dim,)`` vector).
+    k:
+        Neighbors per query, ``1 <= k <= n``.
+    block:
+        Queries processed per distance-matrix block.
+    metric:
+        ``"euclidean"`` (default), ``"angular"``, ``"hamming"``, or a
+        callable ``(data, query_block) -> (q_block, n)`` distance matrix.
+
+    Returns
+    -------
+    (ids, distances):
+        Both ``(q, k)``, sorted by ascending distance; ties broken by id
+        order (numpy argsort stability on the distance key).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    single = queries.ndim == 1
+    queries = np.atleast_2d(queries)
+    n = data.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must lie in [1, {n}], got {k}")
+    if block < 1:
+        raise ValueError(f"block must be positive, got {block}")
+    if callable(metric):
+        matrix = metric
+    else:
+        try:
+            matrix = _METRIC_MATRICES[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; "
+                f"available: {sorted(_METRIC_MATRICES)}"
+            ) from None
+
+    q = queries.shape[0]
+    ids = np.empty((q, k), dtype=np.int64)
+    dists = np.empty((q, k), dtype=np.float64)
+    for start in range(0, q, block):
+        chunk = queries[start:start + block]
+        dmat = np.asarray(matrix(data, chunk), dtype=np.float64)
+        if dmat.shape != (chunk.shape[0], n):
+            raise ValueError(
+                f"metric returned shape {dmat.shape}, expected "
+                f"{(chunk.shape[0], n)}"
+            )
+        if k < n:
+            part = np.argpartition(dmat, k - 1, axis=1)[:, :k]
+        else:
+            part = np.tile(np.arange(n), (chunk.shape[0], 1))
+        part_d = np.take_along_axis(dmat, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        ids[start:start + block] = np.take_along_axis(part, order, axis=1)
+        dists[start:start + block] = np.take_along_axis(part_d, order, axis=1)
+    if single:
+        return ids[0], dists[0]
+    return ids, dists

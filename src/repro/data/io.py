@@ -1,0 +1,70 @@
+"""Vector-file formats used by the ANN-benchmark ecosystem.
+
+``.fvecs`` / ``.ivecs`` are the de-facto interchange formats for ANN
+datasets (SIFT/GIST distributions use them): each vector is stored as a
+little-endian ``int32`` dimension header followed by ``dim`` values
+(``float32`` for fvecs, ``int32`` for ivecs). Supporting them lets users
+run this library directly on the public corpora the original paper drew
+from, when they have the files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["read_fvecs", "write_fvecs", "read_ivecs", "write_ivecs"]
+
+
+def _read_payload(path):
+    """Parse the common record layout; returns the int32 payload block."""
+    raw = np.fromfile(path, dtype=np.int32)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=np.int32)
+    dim = int(raw[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: corrupt header, dimension {dim}")
+    record = dim + 1
+    if raw.size % record != 0:
+        raise ValueError(
+            f"{path}: file size is not a multiple of the record size "
+            f"({raw.size} int32 words, records of {record})"
+        )
+    table = raw.reshape(-1, record)
+    if not np.all(table[:, 0] == dim):
+        raise ValueError(f"{path}: inconsistent per-record dimensions")
+    return np.ascontiguousarray(table[:, 1:])
+
+
+def read_fvecs(path):
+    """Read an ``.fvecs`` file into an ``(n, dim)`` float64 matrix."""
+    payload = _read_payload(path)
+    return payload.view(np.float32).astype(np.float64)
+
+
+def read_ivecs(path):
+    """Read an ``.ivecs`` file into an ``(n, dim)`` int32 matrix."""
+    return _read_payload(path)
+
+
+def write_fvecs(path, data):
+    """Write an ``(n, dim)`` matrix as ``.fvecs`` (float32 payload)."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float32))
+    if data.ndim != 2 or data.shape[1] == 0:
+        raise ValueError(f"data must be a non-empty (n, dim) matrix, got {data.shape}")
+    n, dim = data.shape
+    out = np.empty((n, dim + 1), dtype=np.int32)
+    out[:, 0] = dim
+    out[:, 1:] = data.view(np.int32)
+    out.tofile(path)
+
+
+def write_ivecs(path, data):
+    """Write an ``(n, dim)`` integer matrix as ``.ivecs``."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.int32))
+    if data.ndim != 2 or data.shape[1] == 0:
+        raise ValueError(f"data must be a non-empty (n, dim) matrix, got {data.shape}")
+    n, dim = data.shape
+    out = np.empty((n, dim + 1), dtype=np.int32)
+    out[:, 0] = dim
+    out[:, 1:] = data
+    out.tofile(path)

@@ -1,0 +1,135 @@
+"""Dataset profiles matching the shapes of the paper's evaluation datasets.
+
+Each profile returns a :class:`Dataset` whose cardinality and dimensionality
+match one of the original collections (scaled down by ``scale`` so the full
+benchmark suite stays laptop-sized; ``scale=1.0`` reproduces paper-size
+inputs). The geometry of each substitute is chosen to exercise the same LSH
+behaviour as the original — see DESIGN.md §5 for the substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import generators as gen
+from .groundtruth import exact_knn
+
+__all__ = ["Dataset", "mnist_like", "color_like", "aerial_like", "nus_like",
+           "PROFILES", "load_profile"]
+
+#: Queries per dataset, as in the paper's protocol.
+DEFAULT_QUERIES = 50
+
+
+@dataclass
+class Dataset:
+    """A benchmark dataset: points, held-out queries, and provenance."""
+
+    name: str
+    data: np.ndarray
+    queries: np.ndarray
+    description: str
+
+    @property
+    def n(self):
+        """Number of indexed points (queries excluded)."""
+        return self.data.shape[0]
+
+    @property
+    def dim(self):
+        """Dimensionality of the vectors."""
+        return self.data.shape[1]
+
+    def ground_truth(self, k):
+        """Exact k-NN ids and distances for the held-out queries."""
+        return exact_knn(self.data, self.queries, k)
+
+    def __repr__(self):
+        return (f"Dataset({self.name!r}, n={self.n}, dim={self.dim}, "
+                f"queries={self.queries.shape[0]})")
+
+
+def _scaled(n, scale):
+    if not (0.0 < scale <= 1.0):
+        raise ValueError(f"scale must lie in (0, 1], got {scale}")
+    return max(1000, int(math.ceil(n * scale)))
+
+
+def _finish(name, raw, n_queries, seed, description):
+    data, queries = gen.split_queries(raw, n_queries, seed=seed + 1)
+    return Dataset(name=name, data=data, queries=queries,
+                   description=description)
+
+
+def mnist_like(scale=0.1, n_queries=DEFAULT_QUERIES, seed=0):
+    """60 000 x 50 digit-feature stand-in: 10 anisotropic clusters."""
+    n = _scaled(60_000, scale)
+    raw = gen.gaussian_clusters(
+        n + n_queries, dim=50, n_clusters=10, cluster_std=2.0,
+        spread=15.0, anisotropy=0.05, seed=seed,
+    )
+    return _finish("mnist-like", raw, n_queries, seed,
+                   "10 anisotropic Gaussian clusters in 50-d "
+                   "(digit-feature geometry)")
+
+
+def color_like(scale=0.1, n_queries=DEFAULT_QUERIES, seed=0):
+    """68 040 x 32 color-histogram stand-in: peaky Dirichlet histograms."""
+    n = _scaled(68_040, scale)
+    raw = gen.histogram_vectors(
+        n + n_queries, dim=32, concentration=0.3, scale=100.0, seed=seed,
+    )
+    return _finish("color-like", raw, n_queries, seed,
+                   "non-negative Dirichlet histograms in 32-d "
+                   "(HSV-histogram geometry)")
+
+
+def aerial_like(scale=0.1, n_queries=DEFAULT_QUERIES, seed=0):
+    """275 465 x 60 texture-feature stand-in: many correlated clusters."""
+    n = _scaled(275_465, scale)
+    clusters = gen.gaussian_clusters(
+        n + n_queries, dim=60, n_clusters=60, cluster_std=1.0,
+        spread=8.0, anisotropy=0.03, seed=seed,
+    )
+    correlation = gen.correlated_gaussian(
+        n + n_queries, dim=60, decay=0.8, seed=seed + 2,
+    )
+    raw = clusters + 2.0 * correlation
+    return _finish("aerial-like", raw, n_queries, seed,
+                   "60 correlated Gaussian clusters in 60-d "
+                   "(texture-feature geometry)")
+
+
+def nus_like(scale=0.1, n_queries=DEFAULT_QUERIES, seed=0):
+    """269 648 x 500 bag-of-words stand-in: sparse non-negative vectors."""
+    n = _scaled(269_648, scale)
+    raw = gen.sparse_nonnegative(
+        n + n_queries, dim=500, density=0.04, value_scale=4.0, seed=seed,
+    )
+    return _finish("nus-like", raw, n_queries, seed,
+                   "sparse non-negative 500-d vectors "
+                   "(bag-of-visual-words geometry)")
+
+
+#: Registry used by the harness's ``--datasets`` flag.
+PROFILES = {
+    "mnist": mnist_like,
+    "color": color_like,
+    "aerial": aerial_like,
+    "nus": nus_like,
+}
+
+
+def load_profile(name, scale=0.1, n_queries=DEFAULT_QUERIES, seed=0):
+    """Instantiate a profile by registry name."""
+    try:
+        factory = PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset profile {name!r}; "
+            f"available: {sorted(PROFILES)}"
+        ) from None
+    return factory(scale=scale, n_queries=n_queries, seed=seed)

@@ -1,0 +1,32 @@
+"""Evaluation: metrics, experiment runners, reporting, and the CLI harness."""
+
+from .metrics import QuerySetSummary, evaluate_results, overall_ratio, recall
+from .plots import AsciiChart
+from .reporting import Table, format_table, write_csv
+from .sweep import (
+    BuildReport,
+    RunRecord,
+    best_under_recall,
+    grid,
+    run_experiment,
+    timed_build,
+    timed_queries,
+)
+
+__all__ = [
+    "overall_ratio",
+    "recall",
+    "QuerySetSummary",
+    "evaluate_results",
+    "Table",
+    "format_table",
+    "write_csv",
+    "BuildReport",
+    "RunRecord",
+    "timed_build",
+    "timed_queries",
+    "run_experiment",
+    "grid",
+    "best_under_recall",
+    "AsciiChart",
+]

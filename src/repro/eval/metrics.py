@@ -1,0 +1,121 @@
+"""Accuracy and cost metrics from the paper's evaluation protocol.
+
+* **Overall ratio** — the paper's primary accuracy measure:
+  ``(1/k) * sum_i dist(o_i, q) / dist(o_i*, q)`` where ``o_i`` is the i-th
+  returned object and ``o_i*`` the true i-th NN. 1.0 is exact; the C2LSH
+  guarantee bounds it by ``c**2`` with constant probability.
+* **Recall** — fraction of the true top-k ids returned (secondary measure).
+* **I/O cost** — pages read per query, from the shared
+  :class:`repro.storage.PageManager` cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+import numpy as np
+
+__all__ = ["overall_ratio", "recall", "QuerySetSummary", "evaluate_results"]
+
+_EPS = 1e-12
+
+
+def overall_ratio(result_dists, true_dists):
+    """Overall (rank-wise) distance ratio of one query's answer.
+
+    Missing answers (a method returning fewer than ``k``) are scored against
+    the worst returned/true pair by convention ``inf``-free: each missing
+    rank contributes the ratio of the farthest true distance to itself
+    (i.e. 1.0) *times* a penalty is avoided — instead we simply compute the
+    mean over the ranks that were returned and report misses separately via
+    :func:`recall`. An empty result yields ``nan``.
+    """
+    result_dists = np.asarray(result_dists, dtype=np.float64)
+    true_dists = np.asarray(true_dists, dtype=np.float64)
+    if result_dists.size == 0:
+        return float("nan")
+    k = min(result_dists.size, true_dists.size)
+    num = result_dists[:k] + _EPS
+    den = true_dists[:k] + _EPS
+    return float(np.mean(num / den))
+
+
+def recall(result_ids, true_ids):
+    """|returned ∩ true top-k| / k for one query."""
+    true_ids = np.asarray(true_ids)
+    if true_ids.size == 0:
+        raise ValueError("true id set must be non-empty")
+    result_ids = np.asarray(result_ids)
+    hits = np.intersect1d(result_ids, true_ids, assume_unique=False).size
+    return hits / true_ids.size
+
+
+@dataclass
+class QuerySetSummary:
+    """Aggregated metrics over a query set (means unless noted)."""
+
+    k: int
+    n_queries: int
+    ratio: float
+    recall: float
+    io_reads: float
+    candidates: float
+    scanned_entries: float
+    rounds: float
+    query_time: float = float("nan")
+    ratios: list = field(default_factory=list, repr=False)
+    recalls: list = field(default_factory=list, repr=False)
+
+    def row(self):
+        """Values in the canonical reporting order (see reporting.py)."""
+        return [self.k, f"{self.ratio:.4f}", f"{self.recall:.4f}",
+                f"{self.io_reads:.1f}", f"{self.candidates:.1f}",
+                f"{self.query_time * 1e3:.2f}"]
+
+
+def evaluate_results(results, true_ids, true_dists, k, total_time=None):
+    """Summarize a list of :class:`QueryResult` against exact ground truth.
+
+    Parameters
+    ----------
+    results:
+        One :class:`repro.core.results.QueryResult` per query.
+    true_ids, true_dists:
+        Ground truth of shape ``(q, >=k)`` from
+        :func:`repro.data.exact_knn`.
+    k:
+        The k the queries were run with.
+    total_time:
+        Optional wall-clock seconds for the whole batch; reported as
+        per-query time.
+    """
+    true_ids = np.atleast_2d(np.asarray(true_ids))
+    true_dists = np.atleast_2d(np.asarray(true_dists))
+    if len(results) != true_ids.shape[0]:
+        raise ValueError(
+            f"{len(results)} results vs {true_ids.shape[0]} ground-truth rows"
+        )
+    if true_ids.shape[1] < k:
+        raise ValueError(
+            f"ground truth has only {true_ids.shape[1]} neighbors, need {k}"
+        )
+    ratios, recalls = [], []
+    for res, ids_row, dists_row in zip(results, true_ids, true_dists):
+        ratios.append(overall_ratio(res.distances, dists_row[:k]))
+        recalls.append(recall(res.ids, ids_row[:k]))
+    finite = [r for r in ratios if r == r]  # drop NaN from empty results
+    return QuerySetSummary(
+        k=k,
+        n_queries=len(results),
+        ratio=mean(finite) if finite else float("nan"),
+        recall=mean(recalls),
+        io_reads=mean(r.stats.io_reads for r in results),
+        candidates=mean(r.stats.candidates for r in results),
+        scanned_entries=mean(r.stats.scanned_entries for r in results),
+        rounds=mean(r.stats.rounds for r in results),
+        query_time=(total_time / len(results))
+        if total_time is not None else float("nan"),
+        ratios=ratios,
+        recalls=recalls,
+    )

@@ -1,0 +1,129 @@
+"""Terminal (ASCII) line charts for the figure-style experiments.
+
+The paper's evaluation is figures, not tables; with no plotting stack
+available offline, this module renders multi-series line charts directly in
+the terminal so the harness can show *shapes* — crossovers, plateaus,
+orderings — not just rows. Log-scaled axes are supported because most LSH
+cost curves live on decades.
+
+The renderer is deterministic (pure text), which also makes it testable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["AsciiChart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+class AsciiChart:
+    """A multi-series scatter/line chart rendered as text.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in characters (excluding axes and legend).
+    x_log, y_log:
+        Render the axis on a log10 scale (values must be positive).
+    """
+
+    def __init__(self, width=64, height=18, x_log=False, y_log=False,
+                 title=None, x_label="x", y_label="y"):
+        if width < 8 or height < 4:
+            raise ValueError("chart area too small to render")
+        self.width = int(width)
+        self.height = int(height)
+        self.x_log = bool(x_log)
+        self.y_log = bool(y_log)
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._series = []  # (name, [(x, y), ...])
+
+    def add_series(self, name, xs, ys):
+        """Add one named series; ``xs``/``ys`` must be equal-length."""
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if not xs:
+            raise ValueError("series must contain at least one point")
+        for axis_log, values, label in ((self.x_log, xs, "x"),
+                                        (self.y_log, ys, "y")):
+            if axis_log and any(v <= 0 for v in values):
+                raise ValueError(
+                    f"log-scaled {label} axis requires positive values"
+                )
+        self._series.append((str(name), list(zip(xs, ys))))
+        return self
+
+    def _transform(self, value, log):
+        return math.log10(value) if log else value
+
+    def _bounds(self):
+        tx = [self._transform(x, self.x_log)
+              for _, pts in self._series for x, _ in pts]
+        ty = [self._transform(y, self.y_log)
+              for _, pts in self._series for _, y in pts]
+        x_lo, x_hi = min(tx), max(tx)
+        y_lo, y_hi = min(ty), max(ty)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self):
+        """Render the chart to a string."""
+        if not self._series:
+            raise ValueError("add at least one series before rendering")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x, y, marker):
+            tx = self._transform(x, self.x_log)
+            ty = self._transform(y, self.y_log)
+            col = round((tx - x_lo) / (x_hi - x_lo) * (self.width - 1))
+            row = round((ty - y_lo) / (y_hi - y_lo) * (self.height - 1))
+            grid[self.height - 1 - row][col] = marker
+
+        for idx, (_, points) in enumerate(self._series):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            for x, y in sorted(points):
+                place(x, y, marker)
+
+        def fmt(v, log):
+            raw = 10 ** v if log else v
+            if abs(raw) >= 1000 or (abs(raw) < 0.01 and raw != 0):
+                return f"{raw:.1e}"
+            return f"{raw:.3g}"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        y_hi_txt, y_lo_txt = fmt(y_hi, self.y_log), fmt(y_lo, self.y_log)
+        margin = max(len(y_hi_txt), len(y_lo_txt), len(self.y_label)) + 1
+        lines.append(f"{self.y_label:>{margin}}")
+        for i, row in enumerate(grid):
+            label = y_hi_txt if i == 0 else (
+                y_lo_txt if i == self.height - 1 else "")
+            lines.append(f"{label:>{margin}} |" + "".join(row))
+        lines.append(" " * margin + " +" + "-" * self.width)
+        x_lo_txt, x_hi_txt = fmt(x_lo, self.x_log), fmt(x_hi, self.x_log)
+        pad = self.width - len(x_lo_txt) - len(x_hi_txt)
+        lines.append(" " * (margin + 2) + x_lo_txt + " " * max(1, pad)
+                     + x_hi_txt)
+        lines.append(" " * (margin + 2) + self.x_label)
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {name}"
+            for i, (name, _) in enumerate(self._series)
+        )
+        lines.append(" " * (margin + 2) + legend)
+        return "\n".join(lines)
+
+    def print(self, file=None):
+        """Render and print the chart, followed by a blank line."""
+        print(self.render(), file=file)
+        print(file=file)

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment output.
+
+The harness prints the same rows the paper's tables/figures report; these
+helpers keep that output aligned, diff-able, and optionally CSV-exportable
+so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+__all__ = ["format_table", "write_csv", "Table"]
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned monospace table as a string."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path, headers, rows):
+    """Write a table to CSV (for plotting outside the harness)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+class Table:
+    """Accumulates rows, then prints and/or saves in one go."""
+
+    def __init__(self, headers, title=None):
+        self.headers = list(headers)
+        self.title = title
+        self.rows = []
+
+    def add(self, *cells):
+        """Append one row (as positional cells or a single list/tuple)."""
+        if len(cells) == 1 and isinstance(cells[0], (list, tuple)):
+            cells = tuple(cells[0])
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self):
+        """The table as an aligned monospace string."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def print(self, file=None):
+        """Print the rendered table followed by a blank line."""
+        print(self.render(), file=file)
+        print(file=file)
+
+    def save_csv(self, path):
+        """Write headers + rows to a CSV file."""
+        write_csv(path, self.headers, self.rows)
+
+    def __str__(self):
+        return self.render()
+
+
+def _self_test():  # pragma: no cover - debugging helper
+    buf = io.StringIO()
+    t = Table(["a", "bb"], title="demo")
+    t.add(1, 2)
+    t.print(file=buf)
+    return buf.getvalue()

@@ -1,0 +1,111 @@
+"""Statistical comparison of two methods on a shared query set.
+
+"Method A beats method B" claims in ANN evaluations are per-query paired
+observations — the right tools are paired tests, not eyeballing means.
+This module provides the two standard ones used for such comparisons:
+
+* :func:`sign_test` — distribution-free paired sign test (exact binomial
+  tail), robust to the heavy-tailed per-query costs LSH produces;
+* :func:`bootstrap_mean_diff` — percentile bootstrap confidence interval
+  for the mean paired difference.
+
+Both consume plain per-query metric vectors (e.g. ``summary.recalls`` or
+per-query I/O), so they compose with any metric the harness records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SignTestResult", "sign_test", "BootstrapResult",
+           "bootstrap_mean_diff"]
+
+
+@dataclass
+class SignTestResult:
+    """Outcome of a paired sign test."""
+
+    n_pairs: int
+    wins: int        # pairs where a > b
+    losses: int      # pairs where a < b
+    ties: int
+    p_value: float   # two-sided, ties dropped (standard treatment)
+
+    def significant(self, alpha=0.05):
+        """Whether the difference is significant at level alpha."""
+        return self.p_value <= alpha
+
+
+def _binomial_two_sided_p(k, n):
+    """Exact two-sided binomial(n, 1/2) p-value for observing ``k``."""
+    if n == 0:
+        return 1.0
+    # P[X <= min(k, n-k)] + P[X >= max(k, n-k)] under p = 1/2.
+    lo = min(k, n - k)
+    tail = sum(math.comb(n, i) for i in range(0, lo + 1)) / 2 ** n
+    p = 2.0 * tail
+    if lo == n - lo:  # the two tails overlap at the center
+        p -= math.comb(n, lo) / 2 ** n
+    return min(1.0, p)
+
+
+def sign_test(a, b):
+    """Paired sign test of per-query metrics ``a`` vs ``b``.
+
+    Returns a :class:`SignTestResult`; a small ``p_value`` means the two
+    methods genuinely differ on this query distribution (direction given by
+    ``wins`` vs ``losses``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("a and b must be equal-length non-empty 1-D arrays")
+    diff = a - b
+    wins = int(np.count_nonzero(diff > 0))
+    losses = int(np.count_nonzero(diff < 0))
+    ties = int(diff.size - wins - losses)
+    effective = wins + losses
+    p = _binomial_two_sided_p(wins, effective)
+    return SignTestResult(n_pairs=int(diff.size), wins=wins, losses=losses,
+                          ties=ties, p_value=p)
+
+
+@dataclass
+class BootstrapResult:
+    """Percentile-bootstrap CI for the mean paired difference ``a - b``."""
+
+    mean_diff: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    n_resamples: int
+
+    @property
+    def excludes_zero(self):
+        """True when the interval rules out \"no difference\"."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def bootstrap_mean_diff(a, b, confidence=0.95, n_resamples=2000, seed=0):
+    """Bootstrap CI for ``mean(a - b)`` over paired per-query metrics."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("a and b must be equal-length non-empty 1-D arrays")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError(f"need at least 10 resamples, got {n_resamples}")
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, diff.size, size=(int(n_resamples), diff.size))
+    means = diff[idx].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [tail, 1.0 - tail])
+    return BootstrapResult(
+        mean_diff=float(diff.mean()), ci_low=float(lo), ci_high=float(hi),
+        confidence=float(confidence), n_resamples=int(n_resamples),
+    )

@@ -1,0 +1,91 @@
+"""Experiment execution helpers: timed builds, timed query batches, grids.
+
+These are the nuts and bolts the harness and the benchmark suite share, so
+every experiment measures builds and queries the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from .metrics import QuerySetSummary, evaluate_results
+
+__all__ = ["BuildReport", "RunRecord", "timed_build", "timed_queries",
+           "run_experiment", "grid", "best_under_recall"]
+
+
+@dataclass
+class BuildReport:
+    """Outcome of building one index."""
+
+    index: object
+    build_time: float
+    index_pages: int = 0
+
+
+@dataclass
+class RunRecord:
+    """One (method, dataset, k, config) experiment cell."""
+
+    method: str
+    dataset: str
+    k: int
+    summary: QuerySetSummary
+    build: BuildReport = None
+    config: dict = field(default_factory=dict)
+
+
+def timed_build(factory, data):
+    """Build ``factory().fit(data)`` under a wall clock; report pages if any."""
+    start = time.perf_counter()
+    index = factory().fit(data)
+    elapsed = time.perf_counter() - start
+    pages = 0
+    try:
+        pages = index.index_pages()
+    except (RuntimeError, AttributeError):
+        pass
+    return BuildReport(index=index, build_time=elapsed, index_pages=pages)
+
+
+def timed_queries(index, queries, k, true_ids, true_dists):
+    """Run a query batch under a wall clock and summarize against truth."""
+    start = time.perf_counter()
+    results = index.query_batch(queries, k=k)
+    elapsed = time.perf_counter() - start
+    return evaluate_results(results, true_ids, true_dists, k,
+                            total_time=elapsed)
+
+
+def run_experiment(method_name, factory, dataset, k, true_ids, true_dists,
+                   config=None):
+    """Build + query one method on one dataset at one ``k``."""
+    build = timed_build(factory, dataset.data)
+    summary = timed_queries(build.index, dataset.queries, k,
+                            true_ids, true_dists)
+    return RunRecord(method=method_name, dataset=dataset.name, k=k,
+                     summary=summary, build=build, config=dict(config or {}))
+
+
+def grid(**axes):
+    """Iterate the cartesian product of named parameter lists as dicts.
+
+    >>> list(grid(a=[1, 2], b=["x"]))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combo))
+
+
+def best_under_recall(records, min_recall, cost=lambda r: r.summary.io_reads):
+    """Cheapest record meeting a recall floor (papers' 'at X% recall' rows).
+
+    Returns ``None`` when no record reaches the floor.
+    """
+    eligible = [r for r in records if r.summary.recall >= min_recall]
+    if not eligible:
+        return None
+    return min(eligible, key=cost)

@@ -1,0 +1,55 @@
+"""LSH families and collision-probability theory.
+
+The sub-package provides the hash-function substrate C2LSH runs on: the
+p-stable (Euclidean) family from the paper plus two binary families used by
+the family-independence extension, and the analytic probability models the
+parameter machinery needs.
+"""
+
+from .bitsample import BitSamplingFamily, BitSamplingFunctions
+from .cauchy import (
+    CauchyFamily,
+    CauchyFunctions,
+    cauchy_collision_probability,
+    choose_w_l1,
+)
+from .diagnostics import (
+    CalibrationReport,
+    check_family_calibration,
+    empirical_collision_probability,
+    estimate_rho,
+)
+from .family import LSHFamily, LSHFunctions
+from .probability import (
+    angular_collision_probability,
+    choose_w,
+    hamming_collision_probability,
+    pstable_collision_probability,
+    rho,
+)
+from .pstable import PStableFamily, PStableFunctions
+from .signrp import SignRandomProjectionFamily, SignRandomProjectionFunctions
+
+__all__ = [
+    "LSHFamily",
+    "LSHFunctions",
+    "PStableFamily",
+    "PStableFunctions",
+    "SignRandomProjectionFamily",
+    "SignRandomProjectionFunctions",
+    "BitSamplingFamily",
+    "BitSamplingFunctions",
+    "CauchyFamily",
+    "CauchyFunctions",
+    "cauchy_collision_probability",
+    "choose_w_l1",
+    "pstable_collision_probability",
+    "angular_collision_probability",
+    "hamming_collision_probability",
+    "rho",
+    "choose_w",
+    "empirical_collision_probability",
+    "check_family_calibration",
+    "CalibrationReport",
+    "estimate_rho",
+]

@@ -1,0 +1,72 @@
+"""Bit-sampling LSH family for Hamming distance.
+
+``h_i(o) = o[i]`` for a uniformly random coordinate ``i`` (Indyk & Motwani,
+STOC 1998). The collision probability at Hamming distance ``s`` in ``dim``
+dimensions is ``1 - s/dim``. Like the hyperplane family, bucket ids are
+binary, so the family is not rehashable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .family import LSHFamily, LSHFunctions
+from .probability import hamming_collision_probability
+
+__all__ = ["BitSamplingFamily", "BitSamplingFunctions"]
+
+
+class BitSamplingFunctions(LSHFunctions):
+    """A batch of ``m`` sampled coordinates of binary vectors."""
+
+    rehashable = False
+
+    def __init__(self, coordinates, dim):
+        coordinates = np.asarray(coordinates, dtype=np.int64)
+        if coordinates.ndim != 1:
+            raise ValueError("coordinates must be a 1-D index array")
+        if np.any((coordinates < 0) | (coordinates >= dim)):
+            raise ValueError("sampled coordinates out of range")
+        self._coordinates = coordinates
+        self.dim = int(dim)
+        self.m = coordinates.shape[0]
+
+    def hash(self, points):
+        arr = np.asarray(points)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise ValueError(
+                f"expected binary points of dimension {self.dim}, "
+                f"got shape {arr.shape}"
+            )
+        ids = arr[:, self._coordinates].astype(np.int64)
+        return ids[0] if single else ids
+
+
+class BitSamplingFamily(LSHFamily):
+    """Factory/theory object for bit sampling over ``{0, 1}^dim``."""
+
+    metric = "hamming"
+
+    def __init__(self, dim):
+        if dim < 1:
+            raise ValueError(f"dim must be a positive integer, got {dim}")
+        self.dim = int(dim)
+
+    def sample(self, m, rng):
+        m = self._check_m(m)
+        coordinates = rng.integers(0, self.dim, size=m)
+        return BitSamplingFunctions(coordinates, self.dim)
+
+    def collision_probability(self, s):
+        return hamming_collision_probability(s, self.dim)
+
+    def distance(self, points, query):
+        points = np.asarray(points)
+        query = np.asarray(query)
+        return np.count_nonzero(points != query, axis=1).astype(np.float64)
+
+    def __repr__(self):
+        return f"BitSamplingFamily(dim={self.dim})"

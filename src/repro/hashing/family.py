@@ -1,0 +1,104 @@
+"""Abstract interfaces for LSH families.
+
+C2LSH's dynamic collision counting framework is written against these two
+abstractions so the same counting engine serves Euclidean, angular, and
+Hamming metrics (the family-independence extension described in DESIGN.md):
+
+* :class:`LSHFamily` — a distribution over hash functions, able to *sample*
+  a batch of ``m`` i.i.d. functions and to report its analytic collision
+  probability at a given distance.
+* :class:`LSHFunctions` — a concrete sampled batch, able to hash a matrix of
+  points into an ``(n, m)`` array of integer bucket ids.
+
+A family is *rehashable* when its bucket ids support C2LSH's virtual
+rehashing: the radius-``R`` bucket of a point is the union of ``R``
+consecutive base buckets, i.e. two points collide at radius ``R`` iff
+``floor(h(o) / R) == floor(h(q) / R)``. Only quantized-projection families
+(the p-stable family) are rehashable; binary families (sign projections,
+bit sampling) operate at a single granularity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["LSHFamily", "LSHFunctions"]
+
+
+class LSHFunctions(abc.ABC):
+    """A sampled batch of ``m`` i.i.d. hash functions from one family."""
+
+    #: Number of hash functions in the batch.
+    m: int
+    #: Whether ``floor(ids / R)`` implements hashing at radius ``R``.
+    rehashable: bool = False
+
+    @abc.abstractmethod
+    def hash(self, points):
+        """Hash ``points`` of shape ``(n, dim)`` to ``(n, m)`` bucket ids.
+
+        Bucket ids are ``int64``. A single point of shape ``(dim,)`` is
+        accepted and produces shape ``(m,)``.
+        """
+
+    def _as_matrix(self, points, dim):
+        """Validate input and return a 2-D view plus a squeeze flag."""
+        arr = np.asarray(points, dtype=np.float64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2 or arr.shape[1] != dim:
+            raise ValueError(
+                f"expected points of dimension {dim}, got shape {arr.shape}"
+            )
+        return arr, single
+
+
+class LSHFamily(abc.ABC):
+    """A distribution over locality-sensitive hash functions."""
+
+    #: Name of the distance metric the family is sensitive to.
+    metric: str
+
+    @abc.abstractmethod
+    def sample(self, m, rng):
+        """Sample ``m`` i.i.d. hash functions.
+
+        Parameters
+        ----------
+        m:
+            Number of functions, ``m >= 1``.
+        rng:
+            A ``numpy.random.Generator``.
+
+        Returns
+        -------
+        LSHFunctions
+        """
+
+    @abc.abstractmethod
+    def collision_probability(self, s):
+        """Analytic collision probability at distance ``s`` (base radius)."""
+
+    @abc.abstractmethod
+    def distance(self, points, query):
+        """Distances from each row of ``points`` to ``query``, shape ``(n,)``."""
+
+    def probabilities(self, c, radius=1.0):
+        """Return ``(p1, p2)`` = collision probabilities at ``radius``/``c*radius``."""
+        p1 = float(self.collision_probability(radius))
+        p2 = float(self.collision_probability(c * radius))
+        if not p1 > p2:
+            raise ValueError(
+                f"family is not sensitive at radius {radius} with c={c}: "
+                f"p1={p1} <= p2={p2}"
+            )
+        return p1, p2
+
+    @staticmethod
+    def _check_m(m):
+        if not isinstance(m, (int, np.integer)) or m < 1:
+            raise ValueError(f"m must be a positive integer, got {m!r}")
+        return int(m)

@@ -1,0 +1,144 @@
+"""Collision-probability theory for LSH families.
+
+This module implements the analytic collision-probability models that the
+C2LSH parameter machinery (``repro.core.params``) is built on:
+
+* :func:`pstable_collision_probability` — probability that two points at
+  Euclidean distance ``s`` fall into the same bucket under a quantized
+  2-stable (Gaussian) projection ``h(o) = floor((a.o + b) / w)``
+  (Datar et al., SoCG 2004, eq. used verbatim by C2LSH).
+* :func:`angular_collision_probability` — sign-random-projection family
+  (Charikar, STOC 2002).
+* :func:`hamming_collision_probability` — bit-sampling family
+  (Indyk & Motwani, STOC 1998).
+* :func:`rho` and :func:`choose_w` — the LSH quality exponent
+  ``rho = ln(1/p1) / ln(1/p2)`` and a bucket-width optimizer.
+
+All functions are vectorized over the distance argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+from scipy.special import ndtr  # standard normal CDF, vectorized and fast
+
+__all__ = [
+    "pstable_collision_probability",
+    "angular_collision_probability",
+    "hamming_collision_probability",
+    "rho",
+    "choose_w",
+]
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def pstable_collision_probability(s, w=1.0):
+    """Collision probability of the quantized Gaussian-projection family.
+
+    For two points at Euclidean distance ``s`` and bucket width ``w``::
+
+        p(s) = 1 - 2*Phi(-w/s) - 2/(sqrt(2*pi)*(w/s)) * (1 - exp(-(w/s)^2/2))
+
+    where ``Phi`` is the standard normal CDF. ``p`` is monotonically
+    decreasing in ``s`` and approaches 1 as ``s -> 0``.
+
+    Parameters
+    ----------
+    s:
+        Distance(s) between the two points; scalar or array, ``s >= 0``.
+    w:
+        Bucket width of the hash function, ``w > 0``.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        The collision probability, in ``(0, 1]``, with the same shape as
+        ``s``.
+    """
+    if w <= 0:
+        raise ValueError(f"bucket width w must be positive, got {w}")
+    s_arr = np.asarray(s, dtype=np.float64)
+    if np.any(s_arr < 0):
+        raise ValueError("distances must be non-negative")
+    scalar = s_arr.ndim == 0
+    s_arr = np.atleast_1d(s_arr)
+
+    p = np.ones_like(s_arr)
+    positive = s_arr > 0
+    t = w / s_arr[positive]
+    p[positive] = (
+        1.0
+        - 2.0 * ndtr(-t)
+        - 2.0 / (_SQRT_2PI * t) * (1.0 - np.exp(-0.5 * t * t))
+    )
+    # Guard against tiny negative values from floating-point cancellation
+    # when s >> w (p -> 0 from above).
+    np.clip(p, 0.0, 1.0, out=p)
+    if scalar:
+        return float(p[0])
+    return p
+
+
+def angular_collision_probability(theta):
+    """Collision probability of sign random projections at angle ``theta``.
+
+    ``p(theta) = 1 - theta / pi`` for ``theta`` in ``[0, pi]``.
+    """
+    theta_arr = np.asarray(theta, dtype=np.float64)
+    if np.any((theta_arr < 0) | (theta_arr > math.pi + 1e-12)):
+        raise ValueError("angles must lie in [0, pi]")
+    p = 1.0 - theta_arr / math.pi
+    if np.ndim(theta) == 0:
+        return float(p)
+    return p
+
+
+def hamming_collision_probability(s, dim):
+    """Collision probability of bit sampling at Hamming distance ``s``.
+
+    ``p(s) = 1 - s / dim`` for ``0 <= s <= dim``.
+    """
+    if dim <= 0:
+        raise ValueError(f"dimension must be positive, got {dim}")
+    s_arr = np.asarray(s, dtype=np.float64)
+    if np.any((s_arr < 0) | (s_arr > dim)):
+        raise ValueError(f"Hamming distances must lie in [0, {dim}]")
+    p = 1.0 - s_arr / dim
+    if np.ndim(s) == 0:
+        return float(p)
+    return p
+
+
+def rho(p1, p2):
+    """The LSH quality exponent ``rho = ln(1/p1) / ln(1/p2)``.
+
+    Smaller is better; sub-linear query time scales as ``n**rho``.
+    Requires ``0 < p2 < p1 < 1``.
+    """
+    if not (0.0 < p2 < p1 < 1.0):
+        raise ValueError(f"need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}")
+    return math.log(1.0 / p1) / math.log(1.0 / p2)
+
+
+def choose_w(c, lo=0.05, hi=24.0):
+    """Pick the bucket width minimizing ``rho`` for approximation ratio ``c``.
+
+    C2LSH fixes one bucket width per approximation ratio; the published text
+    does not pin the constant, so we use the standard practice of minimizing
+    ``rho(p(1; w), p(c; w))`` over ``w`` (documented as a reconstruction in
+    DESIGN.md). The optimum is bracketed within ``[lo, hi]``.
+    """
+    if c <= 1:
+        raise ValueError(f"approximation ratio c must exceed 1, got {c}")
+
+    def objective(w):
+        p1 = pstable_collision_probability(1.0, w)
+        p2 = pstable_collision_probability(float(c), w)
+        return rho(p1, p2)
+
+    result = minimize_scalar(objective, bounds=(lo, hi), method="bounded")
+    return float(result.x)

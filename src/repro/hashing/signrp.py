@@ -1,0 +1,68 @@
+"""Sign-random-projection LSH family for angular distance.
+
+``h_a(o) = sign(a . o)`` with Gaussian ``a`` (Charikar, STOC 2002). The
+collision probability at angle ``theta`` is ``1 - theta/pi``. Bucket ids are
+binary, so the family is *not* rehashable — C2LSH runs in single-granularity
+mode on top of it (a family-independence extension beyond the 2012 paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .family import LSHFamily, LSHFunctions
+from .probability import angular_collision_probability
+
+__all__ = ["SignRandomProjectionFamily", "SignRandomProjectionFunctions"]
+
+
+class SignRandomProjectionFunctions(LSHFunctions):
+    """A batch of ``m`` hyperplane hashes; bucket ids are 0/1."""
+
+    rehashable = False
+
+    def __init__(self, projections):
+        projections = np.asarray(projections, dtype=np.float64)
+        if projections.ndim != 2:
+            raise ValueError("projections must have shape (dim, m)")
+        self._projections = projections
+        self.dim = projections.shape[0]
+        self.m = projections.shape[1]
+
+    def hash(self, points):
+        arr, single = self._as_matrix(points, self.dim)
+        ids = (arr @ self._projections >= 0.0).astype(np.int64)
+        return ids[0] if single else ids
+
+
+class SignRandomProjectionFamily(LSHFamily):
+    """Factory/theory object for the hyperplane family (angular metric)."""
+
+    metric = "angular"
+
+    def __init__(self, dim):
+        if dim < 1:
+            raise ValueError(f"dim must be a positive integer, got {dim}")
+        self.dim = int(dim)
+
+    def sample(self, m, rng):
+        m = self._check_m(m)
+        return SignRandomProjectionFunctions(rng.standard_normal((self.dim, m)))
+
+    def collision_probability(self, s):
+        """Collision probability at angular distance ``s`` (radians)."""
+        return angular_collision_probability(s)
+
+    def distance(self, points, query):
+        """Angle (radians) between each row of ``points`` and ``query``."""
+        points = np.asarray(points, dtype=np.float64)
+        query = np.asarray(query, dtype=np.float64)
+        q_norm = np.linalg.norm(query)
+        p_norms = np.linalg.norm(points, axis=1)
+        if q_norm == 0 or np.any(p_norms == 0):
+            raise ValueError("angular distance is undefined for zero vectors")
+        cosine = (points @ query) / (p_norms * q_norm)
+        return np.arccos(np.clip(cosine, -1.0, 1.0))
+
+    def __repr__(self):
+        return f"SignRandomProjectionFamily(dim={self.dim})"

@@ -1,0 +1,235 @@
+"""A bulk-loaded B+-tree over simulated pages.
+
+Substrate for the LSB-forest baseline: each LSB-tree stores its points
+sorted by Z-order key in a B+-tree and answers queries by one root-to-leaf
+descent followed by a bidirectional leaf sweep. The tree here is static
+(bulk-loaded once from sorted keys), which matches how LSB-forest builds its
+index, and charges page reads to a :class:`repro.storage.pages.PageManager`:
+one read per node on a descent, one read per *leaf* first touched by a
+cursor.
+
+Keys can be any totally ordered Python values; LSB uses tuples of uint64
+words (left-aligned Z-order codes), for which tuple comparison equals
+numeric code comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["BPlusTree", "LeafCursor"]
+
+
+@dataclass
+class _Leaf:
+    keys: list
+    values: list
+    index: int  # leaf sequence number, left to right
+
+
+@dataclass
+class _Inner:
+    # separators[i] = smallest key in children[i + 1]'s subtree
+    separators: list
+    children: list = field(default_factory=list)
+
+
+class BPlusTree:
+    """Static B+-tree bulk-loaded from sorted ``(key, value)`` pairs.
+
+    Parameters
+    ----------
+    keys:
+        Sorted (non-decreasing) sequence of comparable keys.
+    values:
+        Sequence of payloads, same length as ``keys``.
+    leaf_capacity:
+        Entries per leaf page.
+    fanout:
+        Children per inner node.
+    page_manager:
+        Optional page accounting; build writes are charged at construction.
+    """
+
+    def __init__(self, keys, values, leaf_capacity=64, fanout=64,
+                 page_manager=None):
+        keys = list(keys)
+        values = list(values)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        if leaf_capacity < 1 or fanout < 2:
+            raise ValueError(
+                f"need leaf_capacity >= 1 and fanout >= 2, got "
+                f"{leaf_capacity}, {fanout}"
+            )
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("keys must be sorted for bulk loading")
+        self.n = len(keys)
+        self.leaf_capacity = int(leaf_capacity)
+        self.fanout = int(fanout)
+        self._pm = page_manager
+
+        self.leaves = [
+            _Leaf(keys[i:i + leaf_capacity], values[i:i + leaf_capacity],
+                  index=i // leaf_capacity)
+            for i in range(0, self.n, leaf_capacity)
+        ] or [_Leaf([], [], index=0)]
+        # Cumulative entry offsets per leaf for position arithmetic.
+        self._leaf_starts = [i * leaf_capacity for i in range(len(self.leaves))]
+
+        self.root, self.height = self._build_inner_levels()
+        if self._pm is not None:
+            self._pm.charge_write(self.node_count())
+
+    def _build_inner_levels(self):
+        level = list(self.leaves)
+        height = 1
+        min_keys = [leaf.keys[0] if leaf.keys else None for leaf in level]
+        while len(level) > 1:
+            parents = []
+            parent_min_keys = []
+            for i in range(0, len(level), self.fanout):
+                group = level[i:i + self.fanout]
+                group_mins = min_keys[i:i + self.fanout]
+                node = _Inner(separators=group_mins[1:], children=group)
+                parents.append(node)
+                parent_min_keys.append(group_mins[0])
+            level = parents
+            min_keys = parent_min_keys
+            height += 1
+        return level[0], height
+
+    # -- structure accounting ------------------------------------------------
+
+    def node_count(self):
+        """Total pages (leaf + inner nodes) occupied by the tree."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Inner):
+                stack.extend(node.children)
+        return count
+
+    def check_invariants(self):
+        """Raise AssertionError if the tree structure is malformed."""
+        # Leaves partition the key sequence in order and within capacity.
+        flat = [k for leaf in self.leaves for k in leaf.keys]
+        assert len(flat) == self.n, "leaf entries do not cover all keys"
+        assert all(flat[i] <= flat[i + 1] for i in range(len(flat) - 1)), \
+            "leaf keys out of order"
+        for leaf in self.leaves[:-1]:
+            assert len(leaf.keys) == self.leaf_capacity, \
+                "only the last leaf may be partial in a bulk-loaded tree"
+        # Inner separators route correctly.
+        def walk(node):
+            if isinstance(node, _Leaf):
+                return (node.keys[0], node.keys[-1]) if node.keys else (None, None)
+            assert 1 <= len(node.children) <= self.fanout, "fanout violated"
+            assert len(node.separators) == len(node.children) - 1
+            lows, highs = [], []
+            for child in node.children:
+                lo, hi = walk(child)
+                lows.append(lo)
+                highs.append(hi)
+            for i, sep in enumerate(node.separators):
+                assert sep == lows[i + 1], "separator must be child-subtree min"
+                if highs[i] is not None:
+                    assert highs[i] <= sep, "left subtree exceeds separator"
+            return lows[0], highs[-1]
+
+        walk(self.root)
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def search_position(self, key):
+        """Global rank of the first entry with ``key_at(pos) >= key``.
+
+        Charges one page read per node on the root-to-leaf path. Returns a
+        position in ``[0, n]`` (``n`` when every key is smaller).
+        """
+        node = self.root
+        while isinstance(node, _Inner):
+            if self._pm is not None:
+                self._pm.charge_read(1)
+            # bisect_left keeps lower-bound semantics when duplicates span
+            # children: on an exact separator match the first occurrence may
+            # live at the end of the left subtree.
+            child_idx = bisect.bisect_left(node.separators, key)
+            node = node.children[child_idx]
+        if self._pm is not None:
+            self._pm.charge_read(1)
+        slot = bisect.bisect_left(node.keys, key)
+        # If the key exceeds everything in this leaf, leaf_start + len(keys)
+        # is exactly the next leaf's start, so the global rank stays correct.
+        return self._leaf_starts[node.index] + slot
+
+    def key_at(self, pos):
+        """Key stored at global position pos (no charging)."""
+        leaf, slot = self._locate(pos)
+        return leaf.keys[slot]
+
+    def value_at(self, pos):
+        """Payload stored at global position pos (no charging)."""
+        leaf, slot = self._locate(pos)
+        return leaf.values[slot]
+
+    def leaf_index_of(self, pos):
+        """Which leaf page holds global position ``pos``."""
+        leaf, _ = self._locate(pos)
+        return leaf.index
+
+    def _locate(self, pos):
+        if not (0 <= pos < self.n):
+            raise IndexError(f"position {pos} out of range for n={self.n}")
+        leaf = self.leaves[pos // self.leaf_capacity]
+        return leaf, pos % self.leaf_capacity
+
+    def cursor(self, pos):
+        """A charging cursor anchored at global position ``pos``."""
+        return LeafCursor(self, pos)
+
+    def __len__(self):
+        return self.n
+
+
+class LeafCursor:
+    """Sequential reader over leaf entries with per-leaf page charging.
+
+    The first access to each distinct leaf costs one page read; subsequent
+    entries on the same leaf are free, which models a buffered sequential
+    sweep. Positions may run off either end (``peek`` returns ``None``).
+    """
+
+    def __init__(self, tree, pos):
+        self._tree = tree
+        self.pos = int(pos)
+        self._charged_leaves = set()
+
+    def valid(self):
+        """Whether the cursor currently points inside the key sequence."""
+        return 0 <= self.pos < self._tree.n
+
+    def peek(self):
+        """``(key, value)`` at the current position, or ``None`` if off-end."""
+        if not self.valid():
+            return None
+        leaf, slot = self._tree._locate(self.pos)
+        if leaf.index not in self._charged_leaves:
+            self._charged_leaves.add(leaf.index)
+            if self._tree._pm is not None:
+                self._tree._pm.charge_read(1)
+        return leaf.keys[slot], leaf.values[slot]
+
+    def advance(self, step):
+        """Move by ``step`` (use +1 / -1 for bidirectional sweeps)."""
+        self.pos += int(step)
+
+    @property
+    def leaves_touched(self):
+        """Distinct leaf pages this cursor has charged."""
+        return len(self._charged_leaves)

@@ -1,0 +1,78 @@
+"""Device cost model: from page counts to estimated seconds.
+
+Page counts only matter because storage devices make them expensive — and
+*how* expensive depends on the device. This module turns
+:class:`repro.storage.IOStats` into estimated wall-clock time under
+standard device profiles, which is how the 2012-era "C2LSH on spinning
+disks" economics can be related to today's hardware.
+
+A read/write is priced as ``latency + page_size / bandwidth``; sequential
+accesses amortize the latency over a run (the caller says how sequential
+its workload is via ``run_length``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pages import DEFAULT_PAGE_SIZE
+
+__all__ = ["DeviceProfile", "HDD", "SSD", "NVME", "estimate_seconds"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/bandwidth of one storage device class.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    latency_s:
+        Cost to start a random access (seek + rotational for disks,
+        command overhead for flash).
+    bandwidth_bps:
+        Sustained transfer rate in bytes/second.
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+
+    def access_time(self, pages, page_size=DEFAULT_PAGE_SIZE, run_length=1):
+        """Seconds to read/write ``pages`` pages in runs of ``run_length``.
+
+        ``run_length = 1`` means fully random I/O (every page pays the
+        latency); larger runs amortize it, approaching pure bandwidth.
+        """
+        if pages < 0:
+            raise ValueError(f"pages must be non-negative, got {pages}")
+        if run_length < 1:
+            raise ValueError(f"run_length must be >= 1, got {run_length}")
+        if pages == 0:
+            return 0.0
+        seeks = -(-pages // run_length)  # ceil
+        return (seeks * self.latency_s
+                + pages * page_size / self.bandwidth_bps)
+
+
+#: A 7200-rpm disk of the paper's era: ~8 ms seek+rotation, ~100 MB/s.
+HDD = DeviceProfile("hdd", latency_s=8e-3, bandwidth_bps=100e6)
+#: A SATA SSD: ~80 us access, ~500 MB/s.
+SSD = DeviceProfile("ssd", latency_s=8e-5, bandwidth_bps=500e6)
+#: An NVMe drive: ~15 us access, ~3 GB/s.
+NVME = DeviceProfile("nvme", latency_s=1.5e-5, bandwidth_bps=3e9)
+
+
+def estimate_seconds(io_stats, device=HDD, page_size=DEFAULT_PAGE_SIZE,
+                     read_run_length=1, write_run_length=64):
+    """Estimated device time for an :class:`IOStats` tally.
+
+    Reads default to random access (index probes and verifications are
+    scattered); writes default to long sequential runs (index builds write
+    files front to back).
+    """
+    return (device.access_time(io_stats.reads, page_size,
+                               read_run_length)
+            + device.access_time(io_stats.writes, page_size,
+                                 write_run_length))

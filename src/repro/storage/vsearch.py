@@ -1,0 +1,66 @@
+"""Vectorized row-wise binary search.
+
+``numpy.searchsorted`` only handles one sorted array at a time; C2LSH and
+QALSH need *m* simultaneous lookups, one per hash table, every radius step.
+``row_searchsorted`` runs all m binary searches in lockstep with
+``O(log n)`` vectorized passes, which is what keeps pure-numpy queries fast
+(the repro band's "hashing loops slow without C extensions" warning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["row_searchsorted"]
+
+
+def row_searchsorted(sorted_rows, targets, side="left"):
+    """Insertion positions of ``targets[i]`` within ``sorted_rows[i]``.
+
+    Parameters
+    ----------
+    sorted_rows:
+        ``(m, n)`` array, each row sorted ascending.
+    targets:
+        ``(m,)`` array of per-row search keys.
+    side:
+        ``"left"`` (first position with ``row[pos] >= target``) or
+        ``"right"`` (first position with ``row[pos] > target``), matching
+        ``numpy.searchsorted`` semantics.
+
+    Returns
+    -------
+    numpy.ndarray of int64, shape ``(m,)``, values in ``[0, n]``.
+    """
+    sorted_rows = np.asarray(sorted_rows)
+    targets = np.asarray(targets)
+    if sorted_rows.ndim != 2:
+        raise ValueError(f"sorted_rows must be 2-D, got {sorted_rows.shape}")
+    m, n = sorted_rows.shape
+    if targets.shape != (m,):
+        raise ValueError(
+            f"targets must have shape ({m},), got {targets.shape}"
+        )
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    if n == 0:
+        return np.zeros(m, dtype=np.int64)
+    lo = np.zeros(m, dtype=np.int64)
+    hi = np.full(m, n, dtype=np.int64)
+    rows = np.arange(m)
+    # Invariant: per row the answer lies in [lo, hi]; each pass halves the
+    # active ranges. Converged rows (lo == hi) may hold lo == n, so probe a
+    # clamped index and mask their updates out.
+    active = lo < hi
+    while np.any(active):
+        mid = (lo + hi) >> 1
+        vals = sorted_rows[rows, np.minimum(mid, n - 1)]
+        if side == "left":
+            go_right = vals < targets
+        else:
+            go_right = vals <= targets
+        lo = np.where(active & go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+        active = lo < hi
+    return lo

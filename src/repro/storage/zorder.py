@@ -1,0 +1,141 @@
+"""Z-order (Morton) codes over multi-word bitstrings.
+
+The LSB-tree baseline (Tao et al., SIGMOD 2009) interleaves the bits of
+``m`` quantized hash values of ``u`` bits each into a single ``m * u``-bit
+key, and ranks points by the Length of the Longest Common Prefix (LLCP)
+between keys. Keys routinely exceed 64 bits, so codes are represented as
+``(n, n_words)`` arrays of ``uint64`` words, **left-aligned**: bit ``t`` of
+the conceptual bitstring (``t = 0`` is the most significant bit) lives in
+word ``t // 64`` at bit position ``63 - t % 64``. Left alignment makes the
+lexicographic order of word tuples equal to the numeric order of the codes
+and makes LLCP computation uniform across words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "llcp",
+    "sort_order",
+    "code_words",
+]
+
+
+def code_words(m, u):
+    """Number of 64-bit words needed for an ``m * u``-bit code."""
+    _check_dims(m, u)
+    return (m * u + 63) // 64
+
+
+def _check_dims(m, u):
+    if m < 1 or u < 1:
+        raise ValueError(f"need m >= 1 and u >= 1, got m={m}, u={u}")
+
+
+def interleave(values, u):
+    """Interleave ``(n, m)`` non-negative ints of ``u`` bits into Morton codes.
+
+    Bit layout: the output code is ``v0[u-1], v1[u-1], ..., v_{m-1}[u-1],
+    v0[u-2], ...`` — one bit from each value per round, most significant
+    round first, so a long common prefix means agreement in the high bits of
+    *all* coordinates (the LSB-tree cell structure).
+
+    Returns an ``(n, n_words)`` uint64 array, left-aligned.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(f"values must have shape (n, m), got {values.shape}")
+    n, m = values.shape
+    _check_dims(m, u)
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    if np.any(values >> u != 0):
+        raise ValueError(f"values do not fit in u={u} bits")
+    values = values.astype(np.uint64)
+    total_bits = m * u
+    words = np.zeros((n, code_words(m, u)), dtype=np.uint64)
+    for t in range(total_bits):
+        j = t % m
+        src_bit = np.uint64(u - 1 - t // m)
+        bit = (values[:, j] >> src_bit) & np.uint64(1)
+        shift = np.uint64(63 - t % 64)
+        words[:, t // 64] |= bit << shift
+    return words
+
+
+def deinterleave(codes, m, u):
+    """Invert :func:`interleave`; returns an ``(n, m)`` int64 array."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.ndim != 2 or codes.shape[1] != code_words(m, u):
+        raise ValueError(
+            f"codes must have shape (n, {code_words(m, u)}), got {codes.shape}"
+        )
+    n = codes.shape[0]
+    values = np.zeros((n, m), dtype=np.uint64)
+    for t in range(m * u):
+        j = t % m
+        src_bit = np.uint64(u - 1 - t // m)
+        shift = np.uint64(63 - t % 64)
+        bit = (codes[:, t // 64] >> shift) & np.uint64(1)
+        values[:, j] |= bit << src_bit
+    return values.astype(np.int64)
+
+
+def _clz64(x):
+    """Vectorized count-leading-zeros for uint64 (returns 64 for zero)."""
+    x = np.asarray(x, dtype=np.uint64).copy()
+    clz = np.zeros(x.shape, dtype=np.int64)
+    for k in (32, 16, 8, 4, 2, 1):
+        y = x >> np.uint64(k)
+        stuck = y == 0
+        clz += np.where(stuck, k, 0)
+        x = np.where(stuck, x, y)
+    clz = np.where(x == 0, 64, clz)
+    return clz
+
+
+def llcp(codes, query_code, total_bits):
+    """Length of the longest common prefix of each code with ``query_code``.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, n_words)`` uint64 codes.
+    query_code:
+        ``(n_words,)`` uint64 code.
+    total_bits:
+        Meaningful bit length ``m * u`` (results are clipped to it).
+
+    Returns
+    -------
+    numpy.ndarray of int64, shape ``(n,)``.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint64))
+    query_code = np.asarray(query_code, dtype=np.uint64).ravel()
+    if codes.shape[1] != query_code.shape[0]:
+        raise ValueError(
+            f"word-count mismatch: codes have {codes.shape[1]}, "
+            f"query has {query_code.shape[0]}"
+        )
+    xor = codes ^ query_code
+    nonzero = xor != 0
+    # Index of the first differing word; rows with no difference get 0 from
+    # argmax but are fixed up below.
+    first = np.argmax(nonzero, axis=1)
+    any_diff = nonzero.any(axis=1)
+    diff_words = xor[np.arange(xor.shape[0]), first]
+    result = first * 64 + _clz64(diff_words)
+    result[~any_diff] = total_bits
+    return np.minimum(result, total_bits)
+
+
+def sort_order(codes):
+    """Indices that sort codes lexicographically (ascending numeric order)."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.ndim != 2:
+        raise ValueError("codes must have shape (n, n_words)")
+    # numpy.lexsort treats the *last* key as primary, so feed words reversed.
+    return np.lexsort(tuple(codes[:, w] for w in range(codes.shape[1] - 1, -1, -1)))

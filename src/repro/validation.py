@@ -1,0 +1,49 @@
+"""Shared input validation for every index in the repository.
+
+All six index classes accept the same two shapes — an ``(n, dim)`` data
+matrix at fit time and a ``(dim,)`` query vector — and all of them break in
+confusing ways on NaN/inf coordinates (``floor(nan)`` buckets, distances
+that never satisfy any threshold). Validating once, here, keeps the error
+messages identical everywhere and the checks impossible to forget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_data_matrix", "as_query_vector", "require_finite"]
+
+
+def require_finite(array, name):
+    """Raise ``ValueError`` if the array holds NaN or infinity."""
+    if not np.all(np.isfinite(array)):
+        bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise ValueError(
+            f"{name} contains {bad} non-finite (NaN/inf) value(s); "
+            "LSH bucket ids and distances are undefined for them"
+        )
+    return array
+
+
+def as_data_matrix(data, name="data"):
+    """Validate and normalize fit-time input to contiguous float64.
+
+    Requires a non-empty 2-D matrix of finite values.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0 or data.shape[1] == 0:
+        raise ValueError(
+            f"{name} must be a non-empty (n, dim) matrix, got shape "
+            f"{data.shape}"
+        )
+    return require_finite(data, name)
+
+
+def as_query_vector(query, dim, name="query"):
+    """Validate and normalize one query to a finite float64 ``(dim,)``."""
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape != (dim,):
+        raise ValueError(
+            f"{name} must have shape ({dim},), got {query.shape}"
+        )
+    return require_finite(query, name)

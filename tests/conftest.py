@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite.
+
+Datasets are deliberately small (hundreds to a few thousand points) so the
+whole suite stays fast; statistical assertions use generous tolerances and
+fixed seeds so they are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_clusters, split_queries
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def clustered():
+    """A small clustered dataset plus 10 held-out queries."""
+    raw = gaussian_clusters(1510, dim=20, n_clusters=8, cluster_std=1.0,
+                            spread=12.0, seed=7)
+    data, queries = split_queries(raw, 10, seed=8)
+    return data, queries
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    """A tiny dataset where exact answers are easy to eyeball."""
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal((200, 8))
+    queries = rng.standard_normal((5, 8))
+    return data, queries

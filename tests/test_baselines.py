@@ -1,0 +1,218 @@
+"""Tests for the baselines: LinearScan, E2LSH, LSB-forest."""
+
+import numpy as np
+import pytest
+
+from repro import E2LSH, LinearScan, LSBForest, PageManager
+from repro.data import exact_knn
+
+
+class TestLinearScan:
+    def test_is_exact(self, tiny):
+        data, queries = tiny
+        index = LinearScan().fit(data)
+        true_ids, true_dists = exact_knn(data, queries, 7)
+        for q, ids_row, dists_row in zip(queries, true_ids, true_dists):
+            result = index.query(q, k=7)
+            assert np.allclose(result.distances, dists_row)
+            assert set(result.ids.tolist()) == set(ids_row.tolist())
+
+    def test_io_is_full_scan(self, tiny):
+        data, queries = tiny
+        pm = PageManager()
+        index = LinearScan(page_manager=pm).fit(data)
+        result = index.query(queries[0], k=1)
+        assert result.stats.io_reads == pm.pages_for(
+            data.shape[0], data.shape[1] * 8)
+
+    def test_candidates_is_n(self, tiny):
+        data, queries = tiny
+        index = LinearScan().fit(data)
+        assert index.query(queries[0], k=1).stats.candidates == data.shape[0]
+
+    def test_custom_metric(self, tiny):
+        data, queries = tiny
+
+        def manhattan(points, q):
+            return np.abs(points - q).sum(axis=1)
+
+        index = LinearScan(metric=manhattan).fit(data)
+        result = index.query(queries[0], k=3)
+        expected = np.sort(manhattan(data, queries[0]))[:3]
+        assert np.allclose(result.distances, expected)
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError):
+            LinearScan(metric="cosine-ish")
+
+    def test_validation(self, tiny):
+        data, queries = tiny
+        index = LinearScan().fit(data)
+        with pytest.raises(RuntimeError):
+            LinearScan().query(queries[0])
+        with pytest.raises(ValueError):
+            index.query(queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(9))
+
+
+class TestE2LSH:
+    def test_theoretical_parameters_grow_with_n(self):
+        K1, L1 = E2LSH.theoretical_parameters(1_000)
+        K2, L2 = E2LSH.theoretical_parameters(1_000_000)
+        assert K2 > K1
+        assert L2 > L1
+
+    def test_theoretical_L_is_large(self):
+        """The paper's point: hundreds of tables at theory settings."""
+        _, L = E2LSH.theoretical_parameters(60_000)
+        assert L > 100
+
+    def test_recall_on_clustered_data(self, clustered):
+        data, queries = clustered
+        index = E2LSH(K=6, L=32, seed=0).fit(data)
+        true_ids, _ = exact_knn(data, queries, 5)
+        hits = 0
+        for q, truth in zip(queries, true_ids):
+            got = index.query(q, k=5)
+            hits += len(set(got.ids.tolist()) & set(truth.tolist()))
+        assert hits / (5 * len(queries)) > 0.7
+
+    def test_exact_match_in_bucket(self, clustered):
+        data, _ = clustered
+        index = E2LSH(K=6, L=16, seed=0).fit(data)
+        result = index.query(data[3], k=1)
+        assert result.ids[0] == 3
+
+    def test_index_pages_scale_with_L(self, tiny):
+        data, _ = tiny
+        pm1, pm2 = PageManager(), PageManager()
+        a = E2LSH(K=4, L=4, seed=0, page_manager=pm1).fit(data)
+        b = E2LSH(K=4, L=8, seed=0, page_manager=pm2).fit(data)
+        assert b.index_pages() == 2 * a.index_pages()
+
+    def test_multi_radius_grid(self, clustered):
+        data, queries = clustered
+        index = E2LSH(K=6, L=8, radii=(1, 2, 4), seed=0).fit(data)
+        result = index.query(queries[0], k=3)
+        assert result.stats.final_radius in (1, 2, 4)
+
+    def test_empty_result_possible_with_tiny_tables(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((50, 4))
+        index = E2LSH(K=14, L=1, seed=0, base_radius=0.0001).fit(data)
+        result = index.query(rng.standard_normal(4) * 50, k=1)
+        assert len(result) in (0, 1)  # may legitimately find nothing
+
+    def test_io_accounting(self, tiny):
+        data, queries = tiny
+        pm = PageManager()
+        index = E2LSH(K=4, L=8, seed=0, page_manager=pm).fit(data)
+        result = index.query(queries[0], k=2)
+        assert result.stats.io_reads >= 8  # at least one probe per table
+
+    def test_validation(self, tiny):
+        data, queries = tiny
+        with pytest.raises(ValueError):
+            E2LSH(radii=())
+        with pytest.raises(ValueError):
+            E2LSH(radii=(0,))
+        with pytest.raises(ValueError):
+            E2LSH(K=0, L=1).fit(data)
+        index = E2LSH(K=4, L=4, seed=0).fit(data)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(9))
+        with pytest.raises(RuntimeError):
+            E2LSH(K=4, L=4).query(queries[0])
+
+    def test_determinism(self, tiny):
+        data, queries = tiny
+        a = E2LSH(K=4, L=8, seed=3).fit(data).query(queries[0], k=3)
+        b = E2LSH(K=4, L=8, seed=3).fit(data).query(queries[0], k=3)
+        assert np.array_equal(a.ids, b.ids)
+
+
+class TestLSBForest:
+    def test_theoretical_parameters(self):
+        m, L = LSBForest.theoretical_parameters(60_000, 50)
+        assert m >= 2
+        assert L > 50  # sqrt(dn/B) is large: the huge-index story
+
+    def test_recall_on_clustered_data(self, clustered):
+        data, queries = clustered
+        index = LSBForest(n_trees=8, seed=0).fit(data)
+        true_ids, _ = exact_knn(data, queries, 5)
+        hits = 0
+        for q, truth in zip(queries, true_ids):
+            got = index.query(q, k=5)
+            hits += len(set(got.ids.tolist()) & set(truth.tolist()))
+        assert hits / (5 * len(queries)) > 0.5
+
+    def test_exact_match_found(self, clustered):
+        data, _ = clustered
+        index = LSBForest(n_trees=8, seed=0).fit(data)
+        result = index.query(data[25], k=1)
+        assert result.ids[0] == 25
+
+    def test_budget_bounds_visited_entries(self, clustered):
+        data, queries = clustered
+        index = LSBForest(n_trees=4, budget_factor=0.02, t1_scale=0.0,
+                          seed=0).fit(data)
+        budget = int(0.02 * (4096 // 12) * 4)
+        for q in queries[:3]:
+            stats = index.query(q, k=3).stats
+            assert stats.scanned_entries <= budget
+            assert stats.terminated_by == "T2"
+
+    def test_t1_label_when_threshold_generous(self, clustered):
+        data, queries = clustered
+        index = LSBForest(n_trees=4, t1_scale=100.0, seed=0).fit(data)
+        assert index.query(queries[0], k=1).stats.terminated_by == "T1"
+
+    def test_index_pages_scale_with_trees(self, tiny):
+        data, _ = tiny
+        pm1, pm2 = PageManager(), PageManager()
+        a = LSBForest(n_trees=2, seed=0, page_manager=pm1).fit(data)
+        b = LSBForest(n_trees=4, seed=0, page_manager=pm2).fit(data)
+        assert b.index_pages() == 2 * a.index_pages()
+
+    def test_build_charges_node_writes(self, tiny):
+        data, _ = tiny
+        pm = PageManager()
+        index = LSBForest(n_trees=3, seed=0, page_manager=pm).fit(data)
+        assert pm.stats.writes >= index.index_pages()
+
+    def test_validation(self, tiny):
+        data, queries = tiny
+        with pytest.raises(ValueError):
+            LSBForest(u_bits=0)
+        with pytest.raises(ValueError):
+            LSBForest(n_trees=0).fit(data)
+        index = LSBForest(n_trees=2, seed=0).fit(data)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(9))
+        with pytest.raises(ValueError):
+            index.query(queries[0], k=0)
+        with pytest.raises(RuntimeError):
+            LSBForest(n_trees=2).query(queries[0])
+
+    def test_determinism(self, tiny):
+        data, queries = tiny
+        a = LSBForest(n_trees=3, seed=5).fit(data).query(queries[0], k=3)
+        b = LSBForest(n_trees=3, seed=5).fit(data).query(queries[0], k=3)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_more_trees_do_not_hurt_recall(self, clustered):
+        data, queries = clustered
+        true_ids, _ = exact_knn(data, queries, 5)
+
+        def recall(n_trees):
+            index = LSBForest(n_trees=n_trees, seed=0, t1_scale=0.0,
+                              budget_factor=0.5).fit(data)
+            hits = 0
+            for q, truth in zip(queries, true_ids):
+                got = index.query(q, k=5)
+                hits += len(set(got.ids.tolist()) & set(truth.tolist()))
+            return hits
+
+        assert recall(8) >= recall(1)

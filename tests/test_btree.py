@@ -1,0 +1,152 @@
+"""Tests for the bulk-loaded B+-tree and its charging cursor."""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree, PageManager
+
+
+def make_tree(keys, leaf_capacity=4, fanout=3, pm=None):
+    return BPlusTree(sorted(keys), list(range(len(keys))),
+                     leaf_capacity=leaf_capacity, fanout=fanout,
+                     page_manager=pm)
+
+
+class TestConstruction:
+    def test_invariants_small(self):
+        tree = make_tree(range(100))
+        assert tree.check_invariants()
+
+    def test_invariants_empty(self):
+        tree = make_tree([])
+        assert len(tree) == 0
+        assert tree.check_invariants()
+
+    def test_single_key(self):
+        tree = make_tree([7])
+        assert tree.key_at(0) == 7
+
+    def test_build_charges_node_writes(self):
+        pm = PageManager()
+        tree = make_tree(range(50), pm=pm)
+        assert pm.stats.writes == tree.node_count()
+
+    def test_unsorted_keys_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree([3, 1, 2], [0, 1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree([1, 2], [0])
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree([1], [0], leaf_capacity=0)
+        with pytest.raises(ValueError):
+            BPlusTree([1], [0], fanout=1)
+
+    def test_duplicate_keys_allowed(self):
+        tree = make_tree([5, 5, 5, 5, 5, 5])
+        assert tree.check_invariants()
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=7),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_invariants(self, n, cap, fanout):
+        tree = make_tree(range(n), leaf_capacity=cap, fanout=fanout)
+        assert tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        small = make_tree(range(4), leaf_capacity=4, fanout=4)
+        large = make_tree(range(1000), leaf_capacity=4, fanout=4)
+        assert small.height == 1
+        assert large.height >= 4
+
+
+class TestSearch:
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+                    max_size=80),
+           st.integers(min_value=-55, max_value=55))
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_bisect_left(self, keys, probe):
+        keys = sorted(keys)
+        tree = BPlusTree(keys, list(range(len(keys))), leaf_capacity=3,
+                         fanout=3)
+        assert tree.search_position(probe) == bisect.bisect_left(keys, probe)
+
+    def test_search_charges_height_reads(self):
+        pm = PageManager()
+        tree = make_tree(range(200), leaf_capacity=4, fanout=4, pm=pm)
+        pm.reset()
+        tree.search_position(57)
+        assert pm.stats.reads == tree.height
+
+    def test_tuple_keys(self):
+        keys = sorted([(0, 5), (1, 2), (1, 3), (2, 0)])
+        tree = BPlusTree(keys, list(range(4)), leaf_capacity=2, fanout=2)
+        assert tree.search_position((1, 0)) == 1
+        assert tree.search_position((9, 9)) == 4
+
+    def test_key_and_value_at(self):
+        tree = make_tree([10, 20, 30], leaf_capacity=2)
+        assert tree.key_at(1) == 20
+        assert tree.value_at(2) == 2
+
+    def test_position_out_of_range(self):
+        tree = make_tree([1, 2, 3])
+        with pytest.raises(IndexError):
+            tree.key_at(3)
+        with pytest.raises(IndexError):
+            tree.key_at(-1)
+
+
+class TestLeafCursor:
+    def test_peek_and_advance(self):
+        tree = make_tree(range(10), leaf_capacity=4)
+        cur = tree.cursor(0)
+        seen = []
+        while cur.valid():
+            key, _ = cur.peek()
+            seen.append(key)
+            cur.advance(1)
+        assert seen == list(range(10))
+
+    def test_backwards_sweep(self):
+        tree = make_tree(range(10), leaf_capacity=4)
+        cur = tree.cursor(9)
+        seen = []
+        while cur.valid():
+            seen.append(cur.peek()[0])
+            cur.advance(-1)
+        assert seen == list(range(9, -1, -1))
+
+    def test_off_end_peek_is_none(self):
+        tree = make_tree(range(3))
+        assert tree.cursor(-1).peek() is None
+        assert tree.cursor(3).peek() is None
+
+    def test_charges_one_read_per_leaf(self):
+        pm = PageManager()
+        tree = make_tree(range(12), leaf_capacity=4, pm=pm)
+        pm.reset()
+        cur = tree.cursor(0)
+        while cur.valid():
+            cur.peek()
+            cur.advance(1)
+        assert pm.stats.reads == 3  # 12 entries / 4 per leaf
+        assert cur.leaves_touched == 3
+
+    def test_repeek_same_leaf_is_free(self):
+        pm = PageManager()
+        tree = make_tree(range(8), leaf_capacity=8, pm=pm)
+        pm.reset()
+        cur = tree.cursor(0)
+        cur.peek()
+        cur.advance(1)
+        cur.peek()
+        assert pm.stats.reads == 1

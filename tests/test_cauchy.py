@@ -1,0 +1,140 @@
+"""Tests for the 1-stable (Cauchy / Manhattan-distance) family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import C2LSH
+from repro.data import exact_knn
+from repro.hashing import (
+    CauchyFamily,
+    cauchy_collision_probability,
+    check_family_calibration,
+    choose_w_l1,
+)
+
+
+class TestCollisionProbability:
+    def test_zero_distance(self):
+        assert cauchy_collision_probability(0.0, w=1.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        s = np.linspace(0.05, 30, 200)
+        p = cauchy_collision_probability(s, w=2.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_scale_invariance(self):
+        a = cauchy_collision_probability(1.0, w=3.0)
+        b = cauchy_collision_probability(2.0, w=6.0)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_known_value(self):
+        """w = s = 1: p = 2*atan(1)/pi - ln 2/pi = 1/2 - ln2/pi."""
+        import math
+        expected = 0.5 - math.log(2.0) / math.pi
+        assert cauchy_collision_probability(1.0, 1.0) == pytest.approx(
+            expected, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cauchy_collision_probability(1.0, w=0.0)
+        with pytest.raises(ValueError):
+            cauchy_collision_probability(-1.0, w=1.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=1e-2, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_probability(self, s, w):
+        p = cauchy_collision_probability(s, w)
+        assert 0.0 <= p <= 1.0
+
+
+class TestChooseWL1:
+    def test_positive(self):
+        assert choose_w_l1(2.0) > 0
+
+    def test_is_local_maximum_of_gap(self):
+        w = choose_w_l1(2.0)
+
+        def gap(width):
+            return (cauchy_collision_probability(1.0, width)
+                    - cauchy_collision_probability(2.0, width))
+
+        assert gap(w) >= gap(w * 1.2) - 1e-9
+        assert gap(w) >= gap(w * 0.8) - 1e-9
+
+    def test_interior_optimum(self):
+        """The gap objective has a real interior maximum (rho does not)."""
+        w = choose_w_l1(2.0)
+        assert 0.05 < w < 39.9
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            choose_w_l1(1.0)
+
+
+class TestCauchyFamily:
+    def test_metric_label(self):
+        assert CauchyFamily(8).metric == "manhattan"
+
+    def test_hash_shapes_and_rehashable(self):
+        rng = np.random.default_rng(0)
+        funcs = CauchyFamily(8, w=4.0).sample(5, rng)
+        assert funcs.rehashable is True
+        ids = funcs.hash(rng.standard_normal((20, 8)))
+        assert ids.shape == (20, 5)
+
+    def test_distance_is_l1(self):
+        family = CauchyFamily(4)
+        points = np.array([[1.0, 2, 3, 4], [0, 0, 0, 0]])
+        q = np.zeros(4)
+        assert np.allclose(family.distance(points, q), [10.0, 0.0])
+
+    def test_calibration_against_model(self):
+        """Measured collision rate matches the analytic formula."""
+        family = CauchyFamily(16, w=2.0)
+        report = check_family_calibration(family, [0.5, 1.0, 3.0],
+                                          n_functions=4000)
+        assert report.calibrated, report.rows()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CauchyFamily(0)
+        with pytest.raises(ValueError):
+            CauchyFamily(4, w=-1.0)
+
+
+class TestL1C2LSH:
+    def test_exact_l1_neighbors_recovered(self):
+        from repro.data import gaussian_clusters
+        data = gaussian_clusters(1500, 16, n_clusters=8, cluster_std=1.0,
+                                 spread=10.0, seed=5)
+        index = C2LSH(family=CauchyFamily(16, c=2), c=2, seed=0).fit(data)
+        hits = 0
+        rng = np.random.default_rng(6)
+        picks = rng.integers(0, 1500, size=10)
+        for i in picks:
+            q = data[i] + 0.001
+            result = index.query(q, k=5)
+            true_ids, _ = exact_knn(data, q, 5, metric="manhattan")
+            hits += len(set(result.ids.tolist()) & set(true_ids.tolist()))
+        assert hits / 50 > 0.8
+
+    def test_distances_reported_in_l1(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((400, 8))
+        index = C2LSH(family=CauchyFamily(8, c=2), c=2, seed=0).fit(data)
+        q = rng.standard_normal(8)
+        result = index.query(q, k=3)
+        expected = np.abs(data[result.ids] - q).sum(axis=1)
+        assert np.allclose(result.distances, expected)
+
+    def test_virtual_rehashing_runs_multiple_rounds(self):
+        """With a tiny starting unit, l1 C2LSH must walk the radius grid."""
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((500, 8)) * 10
+        index = C2LSH(family=CauchyFamily(8, c=2), c=2, seed=0,
+                      base_radius=0.5).fit(data)
+        result = index.query(rng.standard_normal(8) * 10, k=3)
+        assert result.stats.rounds >= 2

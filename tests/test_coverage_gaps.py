@@ -1,0 +1,75 @@
+"""Direct tests for helpers previously only covered indirectly."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsb import _LSBTree
+from repro.data import aerial_like, color_like, mnist_like, nus_like
+from repro.storage import BPlusTree, PageManager
+
+
+class TestLeafIndexOf:
+    def test_maps_positions_to_leaves(self):
+        tree = BPlusTree(list(range(10)), list(range(10)), leaf_capacity=4)
+        assert tree.leaf_index_of(0) == 0
+        assert tree.leaf_index_of(3) == 0
+        assert tree.leaf_index_of(4) == 1
+        assert tree.leaf_index_of(9) == 2
+
+    def test_out_of_range_rejected(self):
+        tree = BPlusTree([1, 2], [0, 1])
+        with pytest.raises(IndexError):
+            tree.leaf_index_of(2)
+
+
+class TestLSBTreeInternals:
+    @pytest.fixture()
+    def tree(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((200, 8)) * 3
+        return data, _LSBTree(data, m=4, u=6, rng=rng, leaf_capacity=32,
+                              fanout=16, page_manager=None)
+
+    def test_quantize_fits_in_u_bits(self, tree):
+        data, lsb = tree
+        values = lsb.quantize(data @ lsb.projections)
+        assert values.min() >= 0
+        assert values.max() < 2 ** 6
+
+    def test_quantize_clamps_out_of_range_queries(self, tree):
+        data, lsb = tree
+        extreme = np.full((1, 4), 1e9)  # projections beyond the data span
+        values = lsb.quantize(extreme)
+        assert values.max() == 2 ** 6 - 1
+
+    def test_query_key_is_tuple_of_words(self, tree):
+        data, lsb = tree
+        key = lsb.query_key(data[0])
+        assert isinstance(key, tuple)
+        assert all(isinstance(w, int) for w in key)
+
+    def test_identical_point_maps_to_stored_key(self, tree):
+        data, lsb = tree
+        key = lsb.query_key(data[5])
+        pos = lsb.btree.search_position(key)
+        # The stored entry for point 5 must sit in the equal-key run.
+        probe = pos
+        found = False
+        while probe < len(lsb.btree) and lsb.btree.key_at(probe) == key:
+            if lsb.btree.value_at(probe) == 5:
+                found = True
+                break
+            probe += 1
+        assert found
+
+
+class TestProfileFactoriesDirect:
+    @pytest.mark.parametrize("factory,dim", [
+        (mnist_like, 50), (color_like, 32), (aerial_like, 60),
+        (nus_like, 500),
+    ])
+    def test_direct_call_matches_registry_shape(self, factory, dim):
+        ds = factory(scale=0.001, n_queries=3, seed=1)
+        assert ds.dim == dim
+        assert ds.queries.shape[0] == 3
+        assert np.all(np.isfinite(ds.data))

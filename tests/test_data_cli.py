@@ -1,0 +1,101 @@
+"""Tests for the dataset CLI and metric-general ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data import exact_knn, read_fvecs, read_ivecs
+from repro.data.__main__ import main
+
+
+class TestMetricGeneralExactKnn:
+    def test_angular_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((50, 6))
+        q = rng.standard_normal(6)
+        ids, dists = exact_knn(data, q, 3, metric="angular")
+        cosine = (data @ q) / (np.linalg.norm(data, axis=1)
+                               * np.linalg.norm(q))
+        angles = np.arccos(np.clip(cosine, -1, 1))
+        order = np.argsort(angles, kind="stable")[:3]
+        assert set(ids.tolist()) == set(order.tolist())
+        assert np.allclose(np.sort(dists), np.sort(angles[order]))
+
+    def test_hamming_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, size=(40, 16)).astype(np.float64)
+        q = data[7]
+        ids, dists = exact_knn(data, q, 1, metric="hamming")
+        assert dists[0] == 0.0
+
+    def test_callable_metric(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((30, 4))
+        q = rng.random(4)
+
+        def manhattan(points, chunk):
+            return np.array([np.abs(points - query).sum(axis=1)
+                             for query in chunk])
+
+        ids, dists = exact_knn(data, q, 2, metric=manhattan)
+        ref = np.abs(data - q).sum(axis=1)
+        assert dists[0] == pytest.approx(ref.min())
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            exact_knn(np.zeros((5, 2)), np.zeros(2), 1, metric="cosine-ish")
+
+    def test_bad_callable_shape_rejected(self):
+        with pytest.raises(ValueError):
+            exact_knn(np.zeros((5, 2)), np.zeros(2), 1,
+                      metric=lambda d, c: np.zeros((1, 3)))
+
+    def test_angular_zero_vector_rejected(self):
+        data = np.zeros((3, 4))
+        with pytest.raises(ValueError):
+            exact_knn(data, np.ones(4), 1, metric="angular")
+
+
+class TestDatasetCLI:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        rc = main(["generate", "color", "--scale", "0.001", "--queries",
+                   "5", "--k", "3", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        base = read_fvecs(tmp_path / "color-like.base.fvecs")
+        queries = read_fvecs(tmp_path / "color-like.query.fvecs")
+        gt_ids = read_ivecs(tmp_path / "color-like.gt.ivecs")
+        assert base.shape[1] == 32
+        assert queries.shape == (5, 32)
+        assert gt_ids.shape == (5, 3)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_skips_gt_when_k_zero(self, tmp_path):
+        main(["generate", "color", "--scale", "0.001", "--queries", "5",
+              "--k", "0", "--out-dir", str(tmp_path)])
+        assert not (tmp_path / "color-like.gt.ivecs").exists()
+
+    def test_groundtruth_roundtrip(self, tmp_path):
+        main(["generate", "color", "--scale", "0.001", "--queries", "5",
+              "--k", "0", "--out-dir", str(tmp_path)])
+        out = tmp_path / "gt"
+        rc = main(["groundtruth", str(tmp_path / "color-like.base.fvecs"),
+                   str(tmp_path / "color-like.query.fvecs"),
+                   "--k", "4", "--out", str(out)])
+        assert rc == 0
+        ids = read_ivecs(f"{out}.ivecs")
+        dists = read_fvecs(f"{out}.fvecs")
+        assert ids.shape == (5, 4)
+        assert np.all(np.diff(dists, axis=1) >= 0)
+
+    def test_gt_ids_match_recomputation(self, tmp_path):
+        main(["generate", "color", "--scale", "0.001", "--queries", "4",
+              "--k", "5", "--out-dir", str(tmp_path)])
+        base = read_fvecs(tmp_path / "color-like.base.fvecs")
+        queries = read_fvecs(tmp_path / "color-like.query.fvecs")
+        stored = read_ivecs(tmp_path / "color-like.gt.ivecs")
+        # fvecs stores float32, so recompute on the *stored* vectors.
+        ids, _ = exact_knn(base, queries, 5)
+        assert np.array_equal(stored, ids.astype(np.int32))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "imagenet"])

@@ -1,0 +1,182 @@
+"""Tests for dataset profiles, ground truth and vector-file formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    exact_knn,
+    load_profile,
+    pairwise_euclidean,
+    read_fvecs,
+    read_ivecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.data.profiles import PROFILES
+
+
+class TestProfiles:
+    def test_registry_contains_paper_datasets(self):
+        assert set(PROFILES) == {"mnist", "color", "aerial", "nus"}
+
+    @pytest.mark.parametrize("name,dim", [
+        ("mnist", 50), ("color", 32), ("aerial", 60), ("nus", 500),
+    ])
+    def test_dimensions_match_paper(self, name, dim):
+        ds = load_profile(name, scale=0.02, n_queries=5, seed=0)
+        assert ds.dim == dim
+        assert ds.queries.shape == (5, dim)
+
+    def test_scale_controls_size(self):
+        small = load_profile("mnist", scale=0.02, n_queries=5)
+        large = load_profile("mnist", scale=0.05, n_queries=5)
+        assert large.n > small.n
+
+    def test_minimum_size_floor(self):
+        ds = load_profile("color", scale=0.001, n_queries=5)
+        assert ds.n >= 995  # floor of 1000 minus held-out queries
+
+    def test_reproducible(self):
+        a = load_profile("color", scale=0.02, n_queries=5, seed=3)
+        b = load_profile("color", scale=0.02, n_queries=5, seed=3)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.queries, b.queries)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            load_profile("imagenet")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_profile("mnist", scale=0.0)
+        with pytest.raises(ValueError):
+            load_profile("mnist", scale=2.0)
+
+    def test_ground_truth_shape(self):
+        ds = load_profile("color", scale=0.02, n_queries=4, seed=0)
+        ids, dists = ds.ground_truth(3)
+        assert ids.shape == (4, 3)
+        assert np.all(np.diff(dists, axis=1) >= 0)
+
+    def test_dataset_repr(self):
+        ds = load_profile("color", scale=0.02, n_queries=4, seed=0)
+        assert "color-like" in repr(ds)
+
+    def test_color_is_nonnegative_histograms(self):
+        ds = load_profile("color", scale=0.02, n_queries=4)
+        assert np.all(ds.data >= 0)
+
+    def test_nus_is_sparse(self):
+        ds = load_profile("nus", scale=0.02, n_queries=4)
+        assert np.count_nonzero(ds.data) / ds.data.size < 0.2
+
+
+class TestExactKnn:
+    def test_matches_naive(self, tiny):
+        data, queries = tiny
+        ids, dists = exact_knn(data, queries, 5)
+        for q, ids_row, dists_row in zip(queries, ids, dists):
+            naive = np.linalg.norm(data - q, axis=1)
+            order = np.argsort(naive, kind="stable")[:5]
+            assert np.allclose(dists_row, naive[order])
+            assert set(ids_row.tolist()) == set(order.tolist())
+
+    def test_single_query_vector(self, tiny):
+        data, queries = tiny
+        ids, dists = exact_knn(data, queries[0], 3)
+        assert ids.shape == (3,)
+        assert dists.shape == (3,)
+
+    def test_blocking_does_not_change_answers(self, tiny):
+        data, queries = tiny
+        a = exact_knn(data, queries, 4, block=1)
+        b = exact_knn(data, queries, 4, block=1000)
+        assert np.array_equal(a[0], b[0])
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((7, 3))
+        ids, dists = exact_knn(data, data[0], 7)
+        assert sorted(ids.tolist()) == list(range(7))
+
+    def test_k_validated(self, tiny):
+        data, queries = tiny
+        with pytest.raises(ValueError):
+            exact_knn(data, queries, 0)
+        with pytest.raises(ValueError):
+            exact_knn(data, queries, data.shape[0] + 1)
+
+    def test_self_distance_zero(self, tiny):
+        data, _ = tiny
+        ids, dists = exact_knn(data, data[5], 1)
+        assert ids[0] == 5
+        assert dists[0] == 0.0
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_first_neighbor_is_minimum(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((30, 4))
+        q = rng.standard_normal(4)
+        _, dists = exact_knn(data, q, 1)
+        assert dists[0] == pytest.approx(
+            np.linalg.norm(data - q, axis=1).min())
+
+
+class TestPairwiseEuclidean:
+    def test_matches_norm(self, tiny):
+        data, queries = tiny
+        mat = pairwise_euclidean(data, queries)
+        assert mat.shape == (queries.shape[0], data.shape[0])
+        assert np.allclose(mat[0], np.linalg.norm(data - queries[0], axis=1))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_euclidean(np.zeros((3, 4)), np.zeros((2, 5)))
+
+
+class TestVectorFiles:
+    def test_fvecs_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((20, 7))
+        path = tmp_path / "x.fvecs"
+        write_fvecs(path, data)
+        back = read_fvecs(path)
+        assert back.shape == (20, 7)
+        assert np.allclose(back, data, atol=1e-6)  # float32 payload
+
+    def test_ivecs_roundtrip(self, tmp_path):
+        data = np.arange(24, dtype=np.int32).reshape(4, 6)
+        path = tmp_path / "x.ivecs"
+        write_ivecs(path, data)
+        assert np.array_equal(read_ivecs(path), data)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).size == 0
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        np.array([-3, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.fvecs"
+        np.array([4, 0, 0], dtype=np.int32).tofile(path)  # 4-dim, 2 values
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    def test_inconsistent_dims_rejected(self, tmp_path):
+        path = tmp_path / "mixed.ivecs"
+        np.array([2, 1, 1, 3, 1, 1], dtype=np.int32).tofile(path)
+        with pytest.raises(ValueError):
+            read_ivecs(path)
+
+    def test_write_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fvecs(tmp_path / "x", np.empty((3, 0)))

@@ -1,0 +1,139 @@
+"""Tests for the raw-vector data-file layout model."""
+
+import numpy as np
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.storage import DataFile
+
+
+@pytest.fixture()
+def vectors():
+    # 64-byte pages, 8-byte entries at dim=1? Use dim=8 -> 64-byte objects.
+    return np.random.default_rng(0).standard_normal((500, 8))
+
+
+def make(vectors, layout, page_size=4096):
+    pm = PageManager(page_size=page_size)
+    pm.reset()
+    df = DataFile(vectors, pm, layout=layout)
+    pm.reset()  # drop the build write for read-cost assertions
+    return pm, df
+
+
+class TestConstruction:
+    def test_build_charges_file_write(self, vectors):
+        pm = PageManager()
+        DataFile(vectors, pm)
+        assert pm.stats.writes == pm.pages_for(500, 64)
+
+    def test_pages_property(self, vectors):
+        pm, df = make(vectors, "id")
+        assert df.pages == pm.pages_for(500, 64)
+
+    def test_no_manager_mode(self, vectors):
+        df = DataFile(vectors, None)
+        assert np.array_equal(df.read(np.array([3, 4])), vectors[[3, 4]])
+        with pytest.raises(RuntimeError):
+            df.pages
+
+    def test_unknown_layout_rejected(self, vectors):
+        with pytest.raises(ValueError):
+            DataFile(vectors, None, layout="btree")
+
+
+class TestReadCharging:
+    def test_scattered_charges_per_object(self, vectors):
+        pm, df = make(vectors, "scattered")
+        df.read(np.array([0, 1, 2, 3]))
+        assert pm.stats.reads == 4
+
+    def test_id_layout_dedupes_within_page(self, vectors):
+        pm, df = make(vectors, "id")
+        # 4096/64 = 64 objects per page: ids 0..3 share one page.
+        df.read(np.array([0, 1, 2, 3]))
+        assert pm.stats.reads == 1
+
+    def test_id_layout_counts_distinct_pages(self, vectors):
+        pm, df = make(vectors, "id")
+        df.read(np.array([0, 100, 200]))  # pages 0, 1, 3
+        assert pm.stats.reads == 3
+
+    def test_empty_read_free(self, vectors):
+        pm, df = make(vectors, "id")
+        df.read(np.empty(0, dtype=np.int64))
+        assert pm.stats.reads == 0
+
+    def test_returned_vectors_unaffected_by_layout(self, vectors):
+        ids = np.array([7, 3, 410])
+        for layout in ("scattered", "id", "zorder"):
+            _, df = make(vectors, layout)
+            assert np.array_equal(df.read(ids), vectors[ids])
+
+    def test_sequential_scan_cost(self, vectors):
+        pm, df = make(vectors, "id")
+        df.sequential_scan()
+        assert pm.stats.reads == pm.pages_for(500, 64)
+
+
+class TestZorderLayout:
+    def test_clusters_cost_less_than_scattered(self):
+        """Verifying one spatial cluster touches few pages under z-order."""
+        rng = np.random.default_rng(1)
+        centers = rng.uniform(-50, 50, size=(10, 8))
+        data = np.vstack([
+            center + 0.5 * rng.standard_normal((100, 8))
+            for center in centers
+        ])
+        perm = rng.permutation(len(data))  # ids carry no spatial order
+        data = data[perm]
+        cluster_ids = np.flatnonzero(
+            np.linalg.norm(data - centers[0], axis=1) < 5.0
+        )
+        assert cluster_ids.size > 50
+
+        pm_z, df_z = make(data, "zorder", page_size=1024)
+        df_z.read(cluster_ids)
+        pm_s, df_s = make(data, "scattered", page_size=1024)
+        df_s.read(cluster_ids)
+        assert pm_z.stats.reads < pm_s.stats.reads / 2
+
+    def test_positions_are_a_permutation(self, vectors):
+        _, df = make(vectors, "zorder")
+        assert sorted(df._position.tolist()) == list(range(500))
+
+
+class TestC2LSHIntegration:
+    def test_default_layout_matches_legacy_charges(self, vectors):
+        """Scattered layout reproduces one-read-per-candidate accounting."""
+        pm = PageManager()
+        index = C2LSH(seed=0, page_manager=pm).fit(vectors)
+        result = index.query(vectors[0], k=3)
+        assert result.stats.io_reads >= result.stats.candidates
+
+    def test_zorder_layout_reduces_verification_io(self):
+        rng = np.random.default_rng(2)
+        centers = rng.uniform(-50, 50, size=(10, 8))
+        data = np.vstack([
+            center + 0.5 * rng.standard_normal((200, 8))
+            for center in centers
+        ])
+        data = data[rng.permutation(len(data))]
+
+        def total_io(layout):
+            pm = PageManager(page_size=1024)
+            index = C2LSH(seed=0, page_manager=pm,
+                          data_layout=layout).fit(data)
+            return sum(index.query(data[i], k=10).stats.io_reads
+                       for i in range(10))
+
+        assert total_io("zorder") < total_io("scattered")
+
+    def test_same_answers_any_layout(self, vectors):
+        results = []
+        for layout in ("scattered", "id", "zorder"):
+            index = C2LSH(seed=0, page_manager=PageManager(),
+                          data_layout=layout).fit(vectors)
+            results.append(index.query(vectors[5], k=5).ids)
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])

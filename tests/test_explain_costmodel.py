@@ -1,0 +1,120 @@
+"""Tests for the query tracer (EXPLAIN) and the device cost model."""
+
+import numpy as np
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.core import explain
+from repro.hashing import SignRandomProjectionFamily
+from repro.storage import HDD, NVME, SSD, DeviceProfile, IOStats
+from repro.storage.costmodel import estimate_seconds
+
+
+@pytest.fixture(scope="module")
+def traced():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((2000, 12)) * 5
+    pm = PageManager()
+    index = C2LSH(c=2, seed=0, page_manager=pm, base_radius=1.0).fit(data)
+    return data, index
+
+
+class TestExplain:
+    def test_trace_matches_query_shape(self, traced):
+        data, index = traced
+        q = data[3] + 0.01
+        exp = explain(index, q, k=5)
+        result = index.query(q, k=5)
+        assert exp.terminated_by == result.stats.terminated_by
+        assert len(exp.rounds) == result.stats.rounds
+        assert np.array_equal(exp.result_ids, result.ids)
+
+    def test_radii_follow_the_grid(self, traced):
+        data, index = traced
+        exp = explain(index, data[10], k=3)
+        radii = [r.radius for r in exp.rounds]
+        assert radii[0] == 1
+        for a, b in zip(radii, radii[1:]):
+            assert b == a * 2
+
+    def test_candidates_monotone(self, traced):
+        data, index = traced
+        exp = explain(index, data[10], k=3)
+        totals = [r.total_candidates for r in exp.rounds]
+        assert totals == sorted(totals)
+
+    def test_io_recorded_per_round(self, traced):
+        data, index = traced
+        exp = explain(index, data[10], k=3)
+        assert all(r.io_reads > 0 for r in exp.rounds)
+
+    def test_render_contains_verdict(self, traced):
+        data, index = traced
+        text = explain(index, data[10], k=3).render()
+        assert "stopped" in text or "fell back" in text
+        assert "radius" in text
+
+    def test_print(self, traced, capsys):
+        data, index = traced
+        explain(index, data[10], k=3).print()
+        assert "Query explanation" in capsys.readouterr().out
+
+    def test_validation(self, traced):
+        data, index = traced
+        with pytest.raises(ValueError):
+            explain(index, data[0], k=0)
+        with pytest.raises(ValueError):
+            explain(index, np.zeros(99), k=1)
+        with pytest.raises(RuntimeError):
+            explain(C2LSH(seed=0), data[0], k=1)
+
+    def test_non_rehashable_rejected(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((200, 8))
+        data /= np.linalg.norm(data, axis=1, keepdims=True)
+        index = C2LSH(family=SignRandomProjectionFamily(8),
+                      seed=0).fit(data)
+        with pytest.raises(ValueError):
+            explain(index, data[0], k=1)
+
+    def test_works_without_page_manager(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((300, 8))
+        index = C2LSH(c=2, seed=0).fit(data)
+        exp = explain(index, data[0], k=2)
+        assert all(r.io_reads == 0 for r in exp.rounds)
+
+
+class TestDeviceProfiles:
+    def test_zero_pages_free(self):
+        assert HDD.access_time(0) == 0.0
+
+    def test_random_reads_pay_latency_each(self):
+        t = HDD.access_time(10, run_length=1)
+        assert t == pytest.approx(10 * HDD.latency_s
+                                  + 10 * 4096 / HDD.bandwidth_bps)
+
+    def test_sequential_amortizes_latency(self):
+        random = HDD.access_time(1000, run_length=1)
+        sequential = HDD.access_time(1000, run_length=1000)
+        assert sequential < random / 10
+
+    def test_device_ordering(self):
+        io = IOStats(reads=500, writes=0)
+        assert estimate_seconds(io, HDD) > estimate_seconds(io, SSD) \
+            > estimate_seconds(io, NVME)
+
+    def test_writes_priced_sequentially_by_default(self):
+        reads_only = estimate_seconds(IOStats(reads=100, writes=0), HDD)
+        writes_only = estimate_seconds(IOStats(reads=0, writes=100), HDD)
+        assert writes_only < reads_only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HDD.access_time(-1)
+        with pytest.raises(ValueError):
+            HDD.access_time(5, run_length=0)
+
+    def test_custom_profile(self):
+        tape = DeviceProfile("tape", latency_s=10.0, bandwidth_bps=1e8)
+        assert tape.access_time(1) > 10.0

@@ -1,0 +1,194 @@
+"""Tests for the LSH families: p-stable, sign random projection, bit sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    BitSamplingFamily,
+    PStableFamily,
+    SignRandomProjectionFamily,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPStableFamily:
+    def test_hash_shapes(self, rng):
+        family = PStableFamily(dim=16, w=2.0)
+        funcs = family.sample(5, rng)
+        points = rng.standard_normal((30, 16))
+        ids = funcs.hash(points)
+        assert ids.shape == (30, 5)
+        assert ids.dtype == np.int64
+
+    def test_single_point_hash(self, rng):
+        family = PStableFamily(dim=16, w=2.0)
+        funcs = family.sample(5, rng)
+        point = rng.standard_normal(16)
+        assert funcs.hash(point).shape == (5,)
+
+    def test_single_equals_batch_row(self, rng):
+        family = PStableFamily(dim=8, w=1.5)
+        funcs = family.sample(4, rng)
+        points = rng.standard_normal((10, 8))
+        batch = funcs.hash(points)
+        assert np.array_equal(funcs.hash(points[3]), batch[3])
+
+    def test_rehashable(self, rng):
+        funcs = PStableFamily(dim=4, w=1.0).sample(2, rng)
+        assert funcs.rehashable is True
+
+    def test_hash_is_floor_of_projection(self, rng):
+        family = PStableFamily(dim=8, w=2.5)
+        funcs = family.sample(3, rng)
+        points = rng.standard_normal((20, 8))
+        proj = funcs.project(points)
+        assert np.array_equal(funcs.hash(points),
+                              np.floor(proj / 2.5).astype(np.int64))
+
+    def test_identical_points_always_collide(self, rng):
+        funcs = PStableFamily(dim=8, w=1.0).sample(10, rng)
+        p = rng.standard_normal(8)
+        assert np.array_equal(funcs.hash(p), funcs.hash(p.copy()))
+
+    def test_empirical_collision_probability_matches_theory(self):
+        """The heart of LSH: measured collision rate ~ analytic p(s)."""
+        rng = np.random.default_rng(0)
+        family = PStableFamily(dim=32, w=2.0)
+        funcs = family.sample(4000, rng)
+        origin = np.zeros(32)
+        for s in (0.5, 1.0, 2.0, 4.0):
+            other = np.zeros(32)
+            other[0] = s
+            rate = np.mean(funcs.hash(origin) == funcs.hash(other))
+            assert rate == pytest.approx(
+                family.collision_probability(s), abs=0.03)
+
+    def test_distance_is_euclidean(self, rng):
+        family = PStableFamily(dim=6, w=1.0)
+        points = rng.standard_normal((15, 6))
+        q = rng.standard_normal(6)
+        expected = np.linalg.norm(points - q, axis=1)
+        assert np.allclose(family.distance(points, q), expected)
+
+    def test_default_width_minimizes_rho(self):
+        family = PStableFamily(dim=10, c=2.0)
+        assert family.w > 0
+
+    def test_probabilities_helper(self):
+        family = PStableFamily(dim=10, w=2.0)
+        p1, p2 = family.probabilities(2.0)
+        assert 0 < p2 < p1 < 1
+
+    def test_wrong_dimension_rejected(self, rng):
+        funcs = PStableFamily(dim=8, w=1.0).sample(3, rng)
+        with pytest.raises(ValueError):
+            funcs.hash(rng.standard_normal((5, 9)))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            PStableFamily(dim=0)
+        with pytest.raises(ValueError):
+            PStableFamily(dim=4, w=-1.0)
+
+    def test_invalid_m_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PStableFamily(dim=4, w=1.0).sample(0, rng)
+
+    def test_seeded_samples_are_reproducible(self):
+        family = PStableFamily(dim=8, w=1.0)
+        a = family.sample(3, np.random.default_rng(5))
+        b = family.sample(3, np.random.default_rng(5))
+        p = np.random.default_rng(1).standard_normal((4, 8))
+        assert np.array_equal(a.hash(p), b.hash(p))
+
+
+class TestSignRandomProjectionFamily:
+    def test_hash_values_are_binary(self, rng):
+        funcs = SignRandomProjectionFamily(dim=12).sample(20, rng)
+        ids = funcs.hash(rng.standard_normal((50, 12)))
+        assert set(np.unique(ids)) <= {0, 1}
+
+    def test_not_rehashable(self, rng):
+        assert SignRandomProjectionFamily(dim=4).sample(2, rng).rehashable \
+            is False
+
+    def test_antipodal_points_never_collide(self, rng):
+        funcs = SignRandomProjectionFamily(dim=8).sample(50, rng)
+        p = rng.standard_normal(8)
+        # sign(a.p) != sign(-a.p) unless the projection is exactly zero.
+        assert not np.any(funcs.hash(p) == funcs.hash(-p))
+
+    def test_empirical_rate_matches_angle(self):
+        rng = np.random.default_rng(1)
+        family = SignRandomProjectionFamily(dim=16)
+        funcs = family.sample(6000, rng)
+        a = np.zeros(16)
+        a[0] = 1.0
+        b = np.zeros(16)
+        theta = math.pi / 3
+        b[0], b[1] = math.cos(theta), math.sin(theta)
+        rate = np.mean(funcs.hash(a) == funcs.hash(b))
+        assert rate == pytest.approx(1 - theta / math.pi, abs=0.03)
+
+    def test_distance_is_angle(self):
+        family = SignRandomProjectionFamily(dim=3)
+        points = np.array([[1.0, 0, 0], [0, 1.0, 0], [-1.0, 0, 0]])
+        q = np.array([1.0, 0, 0])
+        angles = family.distance(points, q)
+        assert np.allclose(angles, [0.0, math.pi / 2, math.pi])
+
+    def test_zero_vector_distance_rejected(self):
+        family = SignRandomProjectionFamily(dim=3)
+        with pytest.raises(ValueError):
+            family.distance(np.zeros((2, 3)), np.array([1.0, 0, 0]))
+
+    def test_collision_probability_bounds(self):
+        family = SignRandomProjectionFamily(dim=5)
+        assert family.collision_probability(0.0) == 1.0
+        assert family.collision_probability(math.pi) == pytest.approx(0.0)
+
+
+class TestBitSamplingFamily:
+    def test_hash_samples_coordinates(self, rng):
+        family = BitSamplingFamily(dim=10)
+        funcs = family.sample(6, rng)
+        points = rng.integers(0, 2, size=(20, 10))
+        ids = funcs.hash(points)
+        assert ids.shape == (20, 6)
+        assert set(np.unique(ids)) <= {0, 1}
+
+    def test_identical_points_collide_everywhere(self, rng):
+        funcs = BitSamplingFamily(dim=10).sample(30, rng)
+        p = rng.integers(0, 2, size=10)
+        assert np.array_equal(funcs.hash(p), funcs.hash(p.copy()))
+
+    def test_empirical_rate_matches_hamming(self):
+        rng = np.random.default_rng(2)
+        family = BitSamplingFamily(dim=64)
+        funcs = family.sample(8000, rng)
+        a = np.zeros(64, dtype=np.int64)
+        b = a.copy()
+        b[:16] = 1  # Hamming distance 16
+        rate = np.mean(funcs.hash(a) == funcs.hash(b))
+        assert rate == pytest.approx(1 - 16 / 64, abs=0.03)
+
+    def test_distance_is_hamming(self):
+        family = BitSamplingFamily(dim=5)
+        points = np.array([[0, 0, 0, 0, 0], [1, 1, 0, 0, 0]])
+        q = np.zeros(5, dtype=np.int64)
+        assert np.array_equal(family.distance(points, q), [0.0, 2.0])
+
+    def test_wrong_dim_rejected(self, rng):
+        funcs = BitSamplingFamily(dim=8).sample(3, rng)
+        with pytest.raises(ValueError):
+            funcs.hash(np.zeros((4, 9), dtype=np.int64))
+
+    def test_single_point(self, rng):
+        funcs = BitSamplingFamily(dim=8).sample(3, rng)
+        assert funcs.hash(np.zeros(8, dtype=np.int64)).shape == (3,)

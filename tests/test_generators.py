@@ -1,0 +1,161 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import generators as gen
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert gen.as_rng(rng) is rng
+
+    def test_seed_creates_generator(self):
+        assert isinstance(gen.as_rng(5), np.random.Generator)
+
+    def test_none_creates_generator(self):
+        assert isinstance(gen.as_rng(None), np.random.Generator)
+
+
+class TestGaussianClusters:
+    def test_shape(self):
+        data = gen.gaussian_clusters(100, 8, seed=0)
+        assert data.shape == (100, 8)
+
+    def test_reproducible(self):
+        a = gen.gaussian_clusters(50, 4, seed=1)
+        b = gen.gaussian_clusters(50, 4, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_clusters_are_separated(self):
+        """With tight clusters and wide spread, points split into groups."""
+        data = gen.gaussian_clusters(200, 4, n_clusters=2, cluster_std=0.1,
+                                     spread=100.0, seed=0)
+        # NN distance within a tight cluster is far below the spread.
+        d01 = np.linalg.norm(data[0] - data, axis=1)
+        d01 = d01[d01 > 0]
+        assert d01.min() < 2.0
+
+    def test_anisotropy_shrinks_later_dims(self):
+        data = gen.gaussian_clusters(2000, 10, n_clusters=1, spread=0.0,
+                                     anisotropy=0.4, seed=0)
+        assert data[:, 9].std() < data[:, 0].std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.gaussian_clusters(0, 4)
+        with pytest.raises(ValueError):
+            gen.gaussian_clusters(10, 4, n_clusters=0)
+        with pytest.raises(ValueError):
+            gen.gaussian_clusters(10, 4, anisotropy=1.0)
+
+
+class TestCorrelatedGaussian:
+    def test_shape_and_reproducibility(self):
+        a = gen.correlated_gaussian(100, 6, seed=2)
+        assert a.shape == (100, 6)
+        assert np.array_equal(a, gen.correlated_gaussian(100, 6, seed=2))
+
+    def test_adjacent_columns_correlate(self):
+        data = gen.correlated_gaussian(5000, 4, decay=0.9, seed=0)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert corr > 0.8
+
+    def test_zero_decay_uncorrelated(self):
+        data = gen.correlated_gaussian(5000, 4, decay=0.0, seed=0)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_unit_marginal_variance(self):
+        data = gen.correlated_gaussian(20000, 3, decay=0.8, seed=0)
+        assert data[:, 2].std() == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.correlated_gaussian(10, 3, decay=1.0)
+
+
+class TestUniformHypercube:
+    def test_bounds(self):
+        data = gen.uniform_hypercube(500, 5, low=-2, high=3, seed=0)
+        assert data.min() >= -2
+        assert data.max() <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.uniform_hypercube(10, 3, low=1.0, high=1.0)
+
+
+class TestHistogramVectors:
+    def test_rows_sum_to_scale(self):
+        data = gen.histogram_vectors(50, 8, scale=100.0, seed=0)
+        assert np.allclose(data.sum(axis=1), 100.0)
+
+    def test_nonnegative(self):
+        data = gen.histogram_vectors(50, 8, seed=0)
+        assert np.all(data >= 0)
+
+    def test_small_concentration_is_peaky(self):
+        peaky = gen.histogram_vectors(200, 16, concentration=0.05, seed=0)
+        flat = gen.histogram_vectors(200, 16, concentration=50.0, seed=0)
+        assert peaky.max(axis=1).mean() > flat.max(axis=1).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.histogram_vectors(10, 4, concentration=0.0)
+
+
+class TestSparseNonnegative:
+    def test_density_respected(self):
+        data = gen.sparse_nonnegative(400, 100, density=0.05, seed=0)
+        observed = np.count_nonzero(data) / data.size
+        assert observed == pytest.approx(0.05, abs=0.01)
+
+    def test_nonnegative(self):
+        assert np.all(gen.sparse_nonnegative(50, 20, seed=0) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.sparse_nonnegative(10, 5, density=0.0)
+        with pytest.raises(ValueError):
+            gen.sparse_nonnegative(10, 5, density=1.5)
+
+
+class TestPlantedQueries:
+    def test_queries_are_near_anchors(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((100, 6)) * 100
+        queries, anchors = gen.planted_queries(data, 10, noise_std=0.01,
+                                               seed=1)
+        dists = np.linalg.norm(queries - data[anchors], axis=1)
+        assert np.all(dists < 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.planted_queries(np.zeros((5, 2)), 0)
+        with pytest.raises(ValueError):
+            gen.planted_queries(np.zeros(5), 1)
+
+
+class TestSplitQueries:
+    def test_partition_sizes(self):
+        data = np.arange(40, dtype=np.float64).reshape(20, 2)
+        rest, queries = gen.split_queries(data, 5, seed=0)
+        assert rest.shape == (15, 2)
+        assert queries.shape == (5, 2)
+
+    def test_disjoint(self):
+        data = np.arange(40, dtype=np.float64).reshape(20, 2)
+        rest, queries = gen.split_queries(data, 5, seed=0)
+        rest_set = {tuple(r) for r in rest}
+        q_set = {tuple(q) for q in queries}
+        assert not (rest_set & q_set)
+        assert len(rest_set | q_set) == 20
+
+    def test_validation(self):
+        data = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            gen.split_queries(data, 10)
+        with pytest.raises(ValueError):
+            gen.split_queries(data, 0)

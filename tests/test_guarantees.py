@@ -1,0 +1,126 @@
+"""Statistical tests of the paper's probabilistic guarantees.
+
+These verify the *theorems*, not just the code: with parameters from the
+Hoeffding machinery,
+
+* **P1**: a point at distance <= R collides with the query in >= l of the
+  m tables with probability >= 1 - delta;
+* **P2**: the expected number of far points (> cR) reaching l collisions
+  is <= beta*n/2;
+* the end-to-end c^2 bound follows.
+
+Each test repeats the experiment across independent hash draws and checks
+the empirical rate against the bound with sampling slack. Seeds are fixed,
+so the tests are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import C2LSH
+from repro.core.params import design_params
+from repro.data import exact_knn
+from repro.hashing import PStableFamily
+
+TRIALS = 60
+
+
+def _collision_count(family, m, seed, a, b):
+    funcs = family.sample(m, np.random.default_rng(seed))
+    return int(np.count_nonzero(funcs.hash(a) == funcs.hash(b)))
+
+
+class TestP1NoFalseNegatives:
+    def test_near_point_is_frequent_with_high_probability(self):
+        """P[#collisions >= l] >= 1 - delta for a point at distance R."""
+        dim, delta = 24, 0.05
+        family = PStableFamily(dim, c=2)
+        params = design_params(50_000, family, c=2, delta=delta)
+        a = np.zeros(dim)
+        b = np.zeros(dim)
+        b[0] = 1.0  # exactly the design distance R = 1
+        hits = sum(
+            _collision_count(family, params.m, seed, a, b) >= params.l
+            for seed in range(TRIALS)
+        )
+        # Binomial slack: allow ~2 sigma below the bound.
+        slack = 2 * np.sqrt(TRIALS * delta * (1 - delta))
+        assert hits >= TRIALS * (1 - delta) - slack
+
+    def test_closer_points_are_even_safer(self):
+        dim = 24
+        family = PStableFamily(dim, c=2)
+        params = design_params(50_000, family, c=2, delta=0.05)
+        a = np.zeros(dim)
+        b = np.zeros(dim)
+        b[0] = 0.3  # well inside the design radius
+        hits = sum(
+            _collision_count(family, params.m, seed, a, b) >= params.l
+            for seed in range(TRIALS)
+        )
+        assert hits == TRIALS
+
+
+class TestP2FewFalsePositives:
+    def test_far_point_rarely_frequent(self):
+        """A point just past cR reaches l collisions with probability far
+        below the near-point rate (the Hoeffding bound gives beta/2 per
+        point; the empirical rate must stay under a loose multiple)."""
+        dim = 24
+        family = PStableFamily(dim, c=2)
+        params = design_params(10_000, family, c=2, delta=0.05)
+        a = np.zeros(dim)
+        b = np.zeros(dim)
+        b[0] = 2.5  # beyond cR = 2
+        hits = sum(
+            _collision_count(family, params.m, seed, a, b) >= params.l
+            for seed in range(TRIALS)
+        )
+        assert hits <= max(2, TRIALS * 0.1)
+
+    def test_very_far_point_never_frequent(self):
+        dim = 24
+        family = PStableFamily(dim, c=2)
+        params = design_params(10_000, family, c=2, delta=0.05)
+        a = np.zeros(dim)
+        b = np.zeros(dim)
+        b[0] = 8.0
+        hits = sum(
+            _collision_count(family, params.m, seed, a, b) >= params.l
+            for seed in range(TRIALS)
+        )
+        assert hits == 0
+
+
+class TestEndToEndGuarantee:
+    def test_c2_ratio_bound_across_seeds(self):
+        """Across hash draws, the top-1 answer is within c^2 of exact with
+        empirical frequency well above the guaranteed 1/2 - delta."""
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((1500, 16)) * 3
+        queries = rng.standard_normal((5, 16)) * 3
+        _, true_dists = exact_knn(data, queries, 1)
+        successes = 0
+        trials = 0
+        for seed in range(12):
+            index = C2LSH(c=2, seed=seed).fit(data)
+            for q, true_d in zip(queries, true_dists[:, 0]):
+                got = index.query(q, k=1).distances[0]
+                trials += 1
+                if got <= 4.0 * true_d + 1e-9:
+                    successes += 1
+        assert successes / trials >= 0.49  # bound is 1/2 - delta
+
+    def test_success_rate_far_exceeds_bound_in_practice(self):
+        """The paper observes ratios near 1 — the bound is loose."""
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((1500, 16)) * 3
+        q = rng.standard_normal(16) * 3
+        _, true_dists = exact_knn(data, q, 1)
+        exact_hits = 0
+        for seed in range(10):
+            index = C2LSH(c=2, seed=seed).fit(data)
+            got = index.query(q, k=1).distances[0]
+            if got <= 1.05 * true_dists[0] + 1e-9:
+                exact_hits += 1
+        assert exact_hits >= 8

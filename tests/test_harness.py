@@ -1,0 +1,63 @@
+"""Smoke tests for the experiment harness CLI.
+
+Each experiment runs once at miniature scale (n ~ 1000, few queries) to
+prove the end-to-end plumbing; the real runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.eval.harness import EXPERIMENTS, build_parser, main
+
+FAST_ARGS = [
+    "--datasets", "color",
+    "--scale", "0.001",
+    "--queries", "5",
+    "--ks", "1", "5",
+    "--lsb-trees", "3",
+    "--e2lsh-K", "4",
+    "--e2lsh-L", "8",
+    "--methods", "c2lsh", "linear",
+]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["vs-k"])
+        assert args.experiment == "vs-k"
+        assert args.scale == 0.1
+        assert args.c == 2
+
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            assert parser.parse_args([name]).experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vs-k", "--datasets", "imagenet"])
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_experiment_smoke(experiment, capsys):
+    assert main([experiment] + FAST_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "|" in out  # a table was printed
+
+
+def test_compare_needs_two_methods(capsys):
+    from repro.eval.harness import main as harness_main
+    args = [a for a in FAST_ARGS]
+    with pytest.raises(SystemExit):
+        harness_main(["compare"] + args[:-3] + ["--methods", "c2lsh"])
+
+
+def test_csv_export(tmp_path, capsys):
+    assert main(["table-params"] + FAST_ARGS
+                + ["--out-dir", str(tmp_path)]) == 0
+    files = list(tmp_path.glob("*.csv"))
+    assert len(files) == 1
+    assert files[0].read_text().count("\n") >= 2

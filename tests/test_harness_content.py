@@ -1,0 +1,84 @@
+"""Content assertions for the harness experiment tables.
+
+The smoke tests prove each experiment runs; these check the tables carry
+exactly the rows the corresponding paper artifact needs (every method at
+every k, every layout, both modes, ...), so a silent coverage regression
+in an experiment cannot pass.
+"""
+
+import pytest
+
+from repro.eval import harness
+
+
+def make_args(**overrides):
+    defaults = dict(
+        experiment="vs-k", datasets=["color"], scale=0.002, queries=5,
+        ks=[1, 5], c=2, delta=0.01, seed=0,
+        methods=["c2lsh", "linear"], lsb_trees=2, e2lsh_K=4, e2lsh_L=4,
+        mp_probes=4, out_dir=None,
+    )
+    defaults.update(overrides)
+    return type("Args", (), defaults)()
+
+
+class TestTableContents:
+    def test_vs_k_covers_every_method_and_k(self):
+        table = harness.exp_vs_k(make_args())
+        cells = {(row[1], row[2]) for row in table.rows}
+        for method in ("c2lsh", "linear"):
+            for k in (1, 5):
+                assert (method, k) in cells
+
+    def test_params_table_has_both_ratios(self):
+        table = harness.exp_table_params(make_args())
+        ratios = {row[3] for row in table.rows}
+        assert ratios == {2, 3}
+
+    def test_index_table_has_theory_rows(self):
+        table = harness.exp_table_index(make_args())
+        methods = {row[1] for row in table.rows}
+        assert {"e2lsh(theory)", "lsb(theory)"} <= methods
+
+    def test_layout_table_has_three_layouts(self):
+        table = harness.exp_layout(make_args())
+        layouts = {row[1] for row in table.rows}
+        assert layouts == {"scattered", "id", "zorder"}
+
+    def test_rehash_table_has_both_modes(self):
+        table = harness.exp_ablation_rehash(make_args())
+        modes = {row[1] for row in table.rows}
+        assert modes == {"incremental", "recount"}
+
+    def test_alpha_table_has_three_positions(self):
+        table = harness.exp_ablation_alpha(make_args())
+        positions = {row[2] for row in table.rows}
+        assert positions == {"near-p2", "optimal", "near-p1"}
+
+    def test_termination_table_has_three_variants(self):
+        table = harness.exp_termination(make_args())
+        variants = {row[1] for row in table.rows}
+        assert variants == {"T1+T2", "T2-only", "T1-only"}
+
+    def test_effect_c_covers_both_schemes(self):
+        table = harness.exp_effect_c(make_args())
+        pairs = {(row[1], row[2]) for row in table.rows}
+        assert {("c2lsh", 2), ("c2lsh", 3), ("qalsh", 2),
+                ("qalsh", 3)} <= pairs
+
+    def test_tradeoff_sweeps_five_budgets(self):
+        table = harness.exp_tradeoff(make_args())
+        budgets = {row[1] for row in table.rows}
+        assert budgets == {25, 50, 100, 200, 400}
+
+    def test_compare_reports_both_metrics(self):
+        table = harness.exp_compare(make_args(methods=["c2lsh", "linear"]))
+        metrics = {row[1] for row in table.rows}
+        assert metrics == {"recall", "ratio"}
+
+    def test_csv_round_trip(self, tmp_path):
+        table = harness.exp_table_params(make_args(out_dir=str(tmp_path)))
+        csv_file = tmp_path / "t1_params.csv"
+        assert csv_file.exists()
+        lines = csv_file.read_text().strip().splitlines()
+        assert len(lines) == len(table.rows) + 1  # header + rows

@@ -1,0 +1,107 @@
+"""Tests for SortedHashTable, the bucket-file layout of one hash table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import PageManager, SortedHashTable
+
+
+class TestConstruction:
+    def test_build_charges_write_pages(self):
+        pm = PageManager(page_size=4096)
+        SortedHashTable(np.arange(1000), page_manager=pm, entry_bytes=12)
+        assert pm.stats.writes == pm.pages_for(1000, 12)
+
+    def test_memory_mode_charges_nothing(self):
+        table = SortedHashTable(np.arange(10))
+        assert len(table) == 10
+
+    def test_min_max_buckets(self):
+        table = SortedHashTable(np.array([5, -3, 9, 0]))
+        assert table.min_bucket == -3
+        assert table.max_bucket == 9
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            SortedHashTable(np.zeros((3, 3)))
+
+
+class TestIntervalPositions:
+    def test_matches_linear_filter(self):
+        ids = np.array([4, 1, 4, 2, 9, 4, -1])
+        table = SortedHashTable(ids)
+        lo, hi = table.interval_positions(2, 5)
+        members = set(table.read_positions(lo, hi, charge=False).tolist())
+        expected = {i for i, b in enumerate(ids) if 2 <= b < 5}
+        assert members == expected
+
+    def test_empty_interval(self):
+        table = SortedHashTable(np.array([1, 2, 3]))
+        lo, hi = table.interval_positions(10, 12)
+        assert lo == hi
+
+    def test_reversed_bounds_rejected(self):
+        table = SortedHashTable(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            table.interval_positions(5, 2)
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1,
+                    max_size=60),
+           st.integers(min_value=-25, max_value=25),
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_property_interval_equals_filter(self, ids, lo_id, width):
+        ids = np.array(ids)
+        table = SortedHashTable(ids)
+        lo, hi = table.interval_positions(lo_id, lo_id + width)
+        got = sorted(table.read_positions(lo, hi, charge=False).tolist())
+        expected = sorted(
+            i for i, b in enumerate(ids) if lo_id <= b < lo_id + width
+        )
+        assert got == expected
+
+
+class TestReadCharging:
+    def test_scan_charges_bucket_formula(self):
+        pm = PageManager(page_size=4096)
+        table = SortedHashTable(np.zeros(1000, dtype=np.int64),
+                                page_manager=pm, entry_bytes=12)
+        pm.reset()
+        table.scan_bucket_range(0, 1)
+        assert pm.stats.reads == pm.pages_for(1000, 12)
+
+    def test_empty_scan_is_free(self):
+        pm = PageManager()
+        table = SortedHashTable(np.zeros(10, dtype=np.int64),
+                                page_manager=pm)
+        pm.reset()
+        table.scan_bucket_range(5, 6)
+        assert pm.stats.reads == 0
+
+    def test_charge_flag_suppresses_io(self):
+        pm = PageManager()
+        table = SortedHashTable(np.zeros(10, dtype=np.int64),
+                                page_manager=pm)
+        pm.reset()
+        table.read_positions(0, 10, charge=False)
+        assert pm.stats.reads == 0
+
+    def test_out_of_range_positions_rejected(self):
+        table = SortedHashTable(np.arange(5))
+        with pytest.raises(IndexError):
+            table.read_positions(0, 6)
+        with pytest.raises(IndexError):
+            table.read_positions(-1, 3)
+
+    def test_storage_pages(self):
+        pm = PageManager(page_size=4096)
+        table = SortedHashTable(np.arange(1000), page_manager=pm,
+                                entry_bytes=12)
+        assert table.storage_pages() == pm.pages_for(1000, 12)
+
+    def test_storage_pages_without_manager_rejected(self):
+        table = SortedHashTable(np.arange(5))
+        with pytest.raises(ValueError):
+            table.storage_pages()

@@ -1,0 +1,74 @@
+"""Property-based invariants of the whole C2LSH stack under random inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import C2LSH, QALSH
+from repro.data import exact_knn
+
+
+def make_data(seed, n, dim):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dim)) * rng.uniform(0.5, 20.0)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=20, max_value=150),
+       st.integers(min_value=2, max_value=12),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_c2lsh_results_never_beat_exact(seed, n, dim, k):
+    """Rank-i returned distance >= rank-i true distance, for every i."""
+    data = make_data(seed, n, dim)
+    query = np.random.default_rng(seed + 1).standard_normal(dim)
+    index = C2LSH(c=2, seed=seed).fit(data)
+    result = index.query(query, k=k)
+    _, true_dists = exact_knn(data, query, k)
+    assert len(result) == k  # k <= 5 << n, fallback guarantees fill
+    assert np.all(result.distances >= true_dists[:len(result)] - 1e-9)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_c2lsh_ids_unique_and_in_range(seed):
+    data = make_data(seed, 80, 6)
+    query = np.random.default_rng(seed + 1).standard_normal(6)
+    result = C2LSH(c=2, seed=seed).fit(data).query(query, k=8)
+    assert len(set(result.ids.tolist())) == len(result)
+    assert np.all((result.ids >= 0) & (result.ids < 80))
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_qalsh_results_never_beat_exact(seed):
+    data = make_data(seed, 100, 8)
+    query = np.random.default_rng(seed + 1).standard_normal(8)
+    result = QALSH(c=2, seed=seed).fit(data).query(query, k=3)
+    _, true_dists = exact_knn(data, query, 3)
+    assert np.all(result.distances >= true_dists[:len(result)] - 1e-9)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.sampled_from([2, 3]))
+@settings(max_examples=10, deadline=None)
+def test_c2lsh_deterministic_under_seed(seed, c):
+    data = make_data(seed, 60, 5)
+    query = np.random.default_rng(seed + 1).standard_normal(5)
+    a = C2LSH(c=c, seed=seed).fit(data).query(query, k=4)
+    b = C2LSH(c=c, seed=seed).fit(data).query(query, k=4)
+    assert np.array_equal(a.ids, b.ids)
+    assert np.allclose(a.distances, b.distances)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_candidate_count_bounded_by_t2_plus_round(seed):
+    """T2 stops verification within one round of the budget filling."""
+    data = make_data(seed, 120, 6)
+    query = np.random.default_rng(seed + 1).standard_normal(6)
+    index = C2LSH(c=2, seed=seed).fit(data)
+    result = index.query(query, k=2)
+    assert result.stats.candidates <= 120
+    assert result.stats.candidates >= len(result)

@@ -1,0 +1,105 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.results import QueryResult, QueryStats
+from repro.eval import evaluate_results, overall_ratio, recall
+
+
+class TestOverallRatio:
+    def test_exact_answer_is_one(self):
+        assert overall_ratio([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_rankwise_mean(self):
+        got = overall_ratio([2.0, 6.0], [1.0, 2.0])
+        assert got == pytest.approx((2.0 + 3.0) / 2)
+
+    def test_zero_distances_handled(self):
+        assert overall_ratio([0.0], [0.0]) == pytest.approx(1.0)
+
+    def test_empty_result_is_nan(self):
+        assert math.isnan(overall_ratio([], [1.0]))
+
+    def test_short_result_scored_over_returned_ranks(self):
+        assert overall_ratio([1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_never_below_one_for_valid_answers(self):
+        """Returned distances cannot beat the true NNs rank by rank."""
+        true = np.sort(np.random.default_rng(0).random(10))
+        result = true * 1.5
+        assert overall_ratio(result, true) >= 1.0
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert recall([1, 9, 8], [1, 2, 3]) == pytest.approx(1 / 3)
+
+    def test_zero(self):
+        assert recall([7, 8], [1, 2]) == 0.0
+
+    def test_empty_result(self):
+        assert recall([], [1, 2]) == 0.0
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            recall([1], [])
+
+
+class TestEvaluateResults:
+    def make_results(self):
+        r1 = QueryResult(np.array([0, 1]), np.array([1.0, 2.0]),
+                         QueryStats(candidates=10, io_reads=5, rounds=2,
+                                    scanned_entries=40))
+        r2 = QueryResult(np.array([5, 2]), np.array([2.0, 4.0]),
+                         QueryStats(candidates=20, io_reads=7, rounds=3,
+                                    scanned_entries=60))
+        true_ids = np.array([[0, 1], [2, 3]])
+        true_dists = np.array([[1.0, 2.0], [2.0, 2.0]])
+        return [r1, r2], true_ids, true_dists
+
+    def test_aggregates(self):
+        results, tids, tdists = self.make_results()
+        summary = evaluate_results(results, tids, tdists, k=2,
+                                   total_time=1.0)
+        assert summary.k == 2
+        assert summary.n_queries == 2
+        assert summary.recall == pytest.approx((1.0 + 0.5) / 2)
+        assert summary.io_reads == pytest.approx(6.0)
+        assert summary.candidates == pytest.approx(15.0)
+        assert summary.rounds == pytest.approx(2.5)
+        assert summary.query_time == pytest.approx(0.5)
+
+    def test_ratio_aggregation(self):
+        results, tids, tdists = self.make_results()
+        summary = evaluate_results(results, tids, tdists, k=2)
+        expected_r2 = (2.0 / 2.0 + 4.0 / 2.0) / 2
+        assert summary.ratio == pytest.approx((1.0 + expected_r2) / 2)
+
+    def test_time_optional(self):
+        results, tids, tdists = self.make_results()
+        summary = evaluate_results(results, tids, tdists, k=2)
+        assert math.isnan(summary.query_time)
+
+    def test_count_mismatch_rejected(self):
+        results, tids, tdists = self.make_results()
+        with pytest.raises(ValueError):
+            evaluate_results(results[:1], tids, tdists, k=2)
+
+    def test_insufficient_ground_truth_rejected(self):
+        results, tids, tdists = self.make_results()
+        with pytest.raises(ValueError):
+            evaluate_results(results, tids, tdists, k=5)
+
+    def test_row_formatting(self):
+        results, tids, tdists = self.make_results()
+        summary = evaluate_results(results, tids, tdists, k=2,
+                                   total_time=0.2)
+        row = summary.row()
+        assert row[0] == 2
+        assert all(isinstance(cell, (int, str)) for cell in row)

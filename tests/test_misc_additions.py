@@ -1,0 +1,82 @@
+"""Tests for the binary-vector generator, devices experiment, and entry point."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.data import binary_vectors
+
+
+class TestBinaryVectors:
+    def test_values_are_binary(self):
+        data = binary_vectors(100, 32, seed=0)
+        assert set(np.unique(data)) <= {0, 1}
+
+    def test_ones_fraction(self):
+        data = binary_vectors(2000, 64, ones_fraction=0.2, seed=0)
+        assert data.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_clusters_have_small_intra_hamming(self):
+        data = binary_vectors(400, 64, n_clusters=4, flip=0.02, seed=0)
+        # Points in the same cluster differ in ~2*0.02*64 ~ 2.5 bits;
+        # different clusters in ~32.
+        dists = np.count_nonzero(data[:50] != data[0], axis=1)
+        near = np.count_nonzero(dists < 10)
+        far = np.count_nonzero(dists > 20)
+        assert near >= 5
+        assert far >= 5
+
+    def test_reproducible(self):
+        assert np.array_equal(binary_vectors(50, 16, seed=3),
+                              binary_vectors(50, 16, seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_vectors(10, 8, ones_fraction=0.0)
+        with pytest.raises(ValueError):
+            binary_vectors(10, 8, n_clusters=2, flip=0.6)
+
+    def test_hamming_c2lsh_end_to_end(self):
+        from repro import C2LSH
+        from repro.data import exact_knn
+        from repro.hashing import BitSamplingFamily
+
+        data = binary_vectors(600, 64, n_clusters=6, flip=0.02,
+                              seed=1).astype(np.float64)
+        index = C2LSH(family=BitSamplingFamily(64), c=2, seed=0).fit(data)
+        q = data[7]
+        result = index.query(q, k=5)
+        _, true_dists = exact_knn(data, q, 5, metric="hamming")
+        # Clustered binary data has many exact duplicates, so compare
+        # rank-wise distances (ids tie arbitrarily at distance 0).
+        assert np.allclose(result.distances, true_dists)
+
+
+class TestDevicesExperiment:
+    def test_table_prices_all_devices(self, capsys):
+        from repro.eval import harness
+
+        args = type("Args", (), dict(
+            datasets=["color"], scale=0.002, queries=5, ks=[1, 5], c=2,
+            delta=0.01, seed=0, methods=["c2lsh", "linear"], lsb_trees=2,
+            e2lsh_K=4, e2lsh_L=4, mp_probes=4, out_dir=None,
+        ))()
+        table = harness.exp_devices(args)
+        assert {"hdd_ms", "ssd_ms", "nvme_ms", "access"} <= set(table.headers)
+        for row in table.rows:
+            hdd, ssd, nvme = (float(row[4]), float(row[5]), float(row[6]))
+            assert hdd > ssd > nvme
+        accesses = {row[1]: row[3] for row in table.rows}
+        assert accesses["linear"] == "seq"
+        assert accesses["c2lsh"] == "random"
+
+
+class TestEntryPoint:
+    def test_version_banner(self, capsys):
+        assert repro_main([]) == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_selfcheck_passes(self, capsys):
+        assert repro_main(["--selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out

@@ -1,0 +1,139 @@
+"""Tests for the Multi-Probe LSH baseline."""
+
+import numpy as np
+import pytest
+
+from repro import MultiProbeLSH, PageManager
+from repro.baselines import perturbation_sequence
+from repro.data import exact_knn
+
+
+class TestPerturbationSequence:
+    def test_scores_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(8)
+
+        def total(delta_set, scores):
+            out = 0.0
+            for func, direction in delta_set:
+                flat = 2 * func + (0 if direction == -1 else 1)
+                out += scores[flat]
+            return out
+
+        seq = list(perturbation_sequence(scores, 20))
+        totals = [total(s, scores) for s in seq]
+        assert totals == sorted(totals)
+
+    def test_no_function_repeats_within_a_set(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(10)
+        for delta_set in perturbation_sequence(scores, 30):
+            funcs = [f for f, _ in delta_set]
+            assert len(set(funcs)) == len(funcs)
+
+    def test_first_probe_is_cheapest_single(self):
+        scores = np.array([5.0, 1.0, 3.0, 4.0])
+        first = next(iter(perturbation_sequence(scores, 1)))
+        assert first == [(0, +1)]  # index 1 => function 0, direction +1
+
+    def test_emits_requested_count_when_available(self):
+        scores = np.arange(1.0, 9.0)
+        assert len(list(perturbation_sequence(scores, 10))) == 10
+
+    def test_zero_probes(self):
+        assert list(perturbation_sequence(np.ones(4), 0)) == []
+
+    def test_sets_are_unique(self):
+        scores = np.arange(1.0, 7.0)
+        seq = [tuple(sorted(s)) for s in perturbation_sequence(scores, 25)]
+        assert len(seq) == len(set(seq))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(perturbation_sequence(np.ones(3), 5))  # odd length
+        with pytest.raises(ValueError):
+            list(perturbation_sequence(np.ones(4), -1))
+        with pytest.raises(ValueError):
+            list(perturbation_sequence(np.empty(0), 1))
+
+
+class TestMultiProbeLSH:
+    def test_probing_raises_recall(self, clustered):
+        data, queries = clustered
+        true_ids, _ = exact_knn(data, queries, 5)
+
+        def recall(n_probes):
+            index = MultiProbeLSH(K=8, L=4, n_probes=n_probes,
+                                  seed=0).fit(data)
+            hits = 0
+            for q, truth in zip(queries, true_ids):
+                got = index.query(q, k=5)
+                hits += len(set(got.ids.tolist()) & set(truth.tolist()))
+            return hits / (5 * len(queries))
+
+        assert recall(24) >= recall(0)
+        assert recall(24) > 0.6
+
+    def test_matches_e2lsh_with_fewer_tables(self, clustered):
+        """The module's reason to exist: few tables + probes ~ many tables."""
+        from repro import E2LSH
+        data, queries = clustered
+        true_ids, _ = exact_knn(data, queries, 5)
+        mp = MultiProbeLSH(K=8, L=4, n_probes=24, seed=0).fit(data)
+        e2 = E2LSH(K=8, L=16, seed=0).fit(data)
+        hits_mp = hits_e2 = 0
+        for q, truth in zip(queries, true_ids):
+            hits_mp += len(set(mp.query(q, k=5).ids.tolist())
+                           & set(truth.tolist()))
+            hits_e2 += len(set(e2.query(q, k=5).ids.tolist())
+                           & set(truth.tolist()))
+        assert hits_mp >= hits_e2 - 5  # within a small slack
+
+    def test_exact_match_found(self, clustered):
+        data, _ = clustered
+        index = MultiProbeLSH(K=6, L=4, n_probes=8, seed=0).fit(data)
+        assert index.query(data[9], k=1).ids[0] == 9
+
+    def test_probe_count_bounds_rounds(self, tiny):
+        data, queries = tiny
+        index = MultiProbeLSH(K=4, L=3, n_probes=5, seed=0).fit(data)
+        stats = index.query(queries[0], k=2).stats
+        assert stats.rounds <= 3 * (1 + 5)  # L * (home + probes)
+
+    def test_io_accounting(self, tiny):
+        data, queries = tiny
+        pm = PageManager()
+        index = MultiProbeLSH(K=4, L=3, n_probes=4, seed=0,
+                              page_manager=pm).fit(data)
+        assert pm.stats.writes > 0
+        result = index.query(queries[0], k=2)
+        assert result.stats.io_reads >= result.stats.candidates
+        assert index.index_pages() == 3 * pm.pages_for(data.shape[0], 12)
+
+    def test_determinism(self, tiny):
+        data, queries = tiny
+        a = MultiProbeLSH(K=4, L=3, n_probes=4, seed=2).fit(data) \
+            .query(queries[0], k=3)
+        b = MultiProbeLSH(K=4, L=3, n_probes=4, seed=2).fit(data) \
+            .query(queries[0], k=3)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_validation(self, tiny):
+        data, queries = tiny
+        with pytest.raises(ValueError):
+            MultiProbeLSH(K=0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(n_probes=-1)
+        index = MultiProbeLSH(K=4, L=2, seed=0).fit(data)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(9))
+        with pytest.raises(ValueError):
+            index.query(queries[0], k=0)
+        with pytest.raises(RuntimeError):
+            MultiProbeLSH(K=4, L=2).query(queries[0])
+
+    def test_results_sorted(self, tiny):
+        data, queries = tiny
+        index = MultiProbeLSH(K=4, L=3, n_probes=6, seed=0).fit(data)
+        for q in queries:
+            assert np.all(np.diff(index.query(q, k=5).distances) >= 0)

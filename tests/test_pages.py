@@ -1,0 +1,131 @@
+"""Tests for the page-based I/O cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DEFAULT_PAGE_SIZE, IOStats, PageManager
+
+
+class TestIOStats:
+    def test_total(self):
+        assert IOStats(reads=3, writes=4).total == 7
+
+    def test_copy_is_independent(self):
+        a = IOStats(reads=1)
+        b = a.copy()
+        b.reads = 99
+        assert a.reads == 1
+
+    def test_subtraction(self):
+        diff = IOStats(reads=10, writes=5) - IOStats(reads=4, writes=1)
+        assert (diff.reads, diff.writes) == (6, 4)
+
+
+class TestPageManager:
+    def test_default_page_size(self):
+        assert PageManager().page_size == DEFAULT_PAGE_SIZE
+
+    def test_entries_per_page(self):
+        pm = PageManager(page_size=4096)
+        assert pm.entries_per_page(12) == 341
+        assert pm.entries_per_page(8) == 512
+
+    def test_oversized_entry_still_fits_one(self):
+        pm = PageManager(page_size=4096)
+        assert pm.entries_per_page(10_000) == 1
+
+    def test_pages_for(self):
+        pm = PageManager(page_size=4096)
+        assert pm.pages_for(0, 12) == 0
+        assert pm.pages_for(1, 12) == 1
+        assert pm.pages_for(341, 12) == 1
+        assert pm.pages_for(342, 12) == 2
+
+    def test_charging_accumulates(self):
+        pm = PageManager()
+        pm.charge_read(3)
+        pm.charge_write(2)
+        pm.charge_read()
+        assert pm.stats.reads == 4
+        assert pm.stats.writes == 2
+
+    def test_charge_sequential_read_returns_pages(self):
+        pm = PageManager(page_size=4096)
+        assert pm.charge_sequential_read(1000, 12) == 3
+        assert pm.stats.reads == 3
+
+    def test_snapshot_and_since(self):
+        pm = PageManager()
+        pm.charge_read(5)
+        snap = pm.snapshot()
+        pm.charge_read(2)
+        pm.charge_write(1)
+        delta = pm.since(snap)
+        assert (delta.reads, delta.writes) == (2, 1)
+
+    def test_snapshot_is_immutable_view(self):
+        pm = PageManager()
+        snap = pm.snapshot()
+        pm.charge_read(10)
+        assert snap.reads == 0
+
+    def test_reset(self):
+        pm = PageManager()
+        pm.charge_read(5)
+        pm.reset()
+        assert pm.stats.total == 0
+
+    def test_negative_charges_rejected(self):
+        pm = PageManager()
+        with pytest.raises(ValueError):
+            pm.charge_read(-1)
+        with pytest.raises(ValueError):
+            pm.charge_write(-1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PageManager(page_size=4)
+        pm = PageManager()
+        with pytest.raises(ValueError):
+            pm.entries_per_page(0)
+        with pytest.raises(ValueError):
+            pm.pages_for(-1, 12)
+
+
+class TestChargeBucketScans:
+    def test_zero_counts_are_free(self):
+        pm = PageManager()
+        assert pm.charge_bucket_scans([0, 0, 0], 12) == 0
+        assert pm.stats.reads == 0
+
+    def test_small_ranges_cost_one_page_each(self):
+        pm = PageManager(page_size=4096)
+        assert pm.charge_bucket_scans([1, 5, 300], 12) == 3
+
+    def test_large_range_costs_ceil(self):
+        pm = PageManager(page_size=4096)
+        assert pm.charge_bucket_scans([700], 12) == 3  # ceil(700/341)
+
+    def test_mixed(self):
+        pm = PageManager(page_size=4096)
+        pages = pm.charge_bucket_scans([0, 1, 341, 342], 12)
+        assert pages == 0 + 1 + 1 + 2
+        assert pm.stats.reads == pages
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PageManager().charge_bucket_scans([-1], 12)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=20),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_formula(self, counts, entry_bytes):
+        pm = PageManager(page_size=4096)
+        pages = pm.charge_bucket_scans(counts, entry_bytes)
+        epp = max(1, 4096 // entry_bytes)
+        expected = sum(max(1, -(-c // epp)) for c in counts if c > 0)
+        assert pages == expected
+        assert pm.stats.reads == expected

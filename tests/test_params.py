@@ -1,0 +1,201 @@
+"""Tests for repro.core.params — the Hoeffding-bound parameter machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    C2LSHParams,
+    design_params,
+    optimal_alpha,
+    required_m,
+)
+from repro.hashing import (
+    BitSamplingFamily,
+    PStableFamily,
+    SignRandomProjectionFamily,
+)
+
+P1, P2 = 0.7, 0.45
+BETA, DELTA = 0.01, 0.01
+
+
+class TestOptimalAlpha:
+    def test_lies_strictly_between_p2_and_p1(self):
+        alpha = optimal_alpha(P1, P2, BETA, DELTA)
+        assert P2 < alpha < P1
+
+    def test_balances_the_two_bounds(self):
+        """At alpha*, the FN and FP Hoeffding exponents are equal."""
+        alpha = optimal_alpha(P1, P2, BETA, DELTA)
+        fn = math.log(1 / DELTA) / (2 * (P1 - alpha) ** 2)
+        fp = math.log(2 / BETA) / (2 * (alpha - P2) ** 2)
+        assert fn == pytest.approx(fp, rel=1e-9)
+
+    def test_minimizes_m(self):
+        alpha = optimal_alpha(P1, P2, BETA, DELTA)
+        best = required_m(P1, P2, alpha, BETA, DELTA)
+        span = P1 - P2
+        for off in (-0.3, -0.1, 0.1, 0.3):
+            other = alpha + off * span
+            if P2 < other < P1:
+                assert required_m(P1, P2, other, BETA, DELTA) >= best
+
+    def test_symmetric_budgets_give_midpoint(self):
+        """ln(2/beta) == ln(1/delta) => z = 1 => alpha = (p1+p2)/2."""
+        beta = 2 * math.exp(-5.0)
+        delta = math.exp(-5.0)
+        alpha = optimal_alpha(P1, P2, beta, delta)
+        assert alpha == pytest.approx((P1 + P2) / 2, rel=1e-9)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_alpha(0.4, 0.7, BETA, DELTA)  # p1 < p2
+        with pytest.raises(ValueError):
+            optimal_alpha(P1, P2, 0.0, DELTA)
+        with pytest.raises(ValueError):
+            optimal_alpha(P1, P2, BETA, 1.5)
+
+    @given(st.floats(min_value=0.05, max_value=0.6),
+           st.floats(min_value=0.05, max_value=0.35),
+           st.floats(min_value=1e-4, max_value=0.5),
+           st.floats(min_value=1e-4, max_value=0.5))
+    @settings(max_examples=80, deadline=None)
+    def test_always_inside_interval(self, p2, gap, beta, delta):
+        p1 = p2 + gap
+        alpha = optimal_alpha(p1, p2, beta, delta)
+        assert p2 < alpha < p1
+
+
+class TestRequiredM:
+    def test_satisfies_both_bounds(self):
+        alpha = optimal_alpha(P1, P2, BETA, DELTA)
+        m = required_m(P1, P2, alpha, BETA, DELTA)
+        assert math.exp(-2 * m * (P1 - alpha) ** 2) <= DELTA + 1e-12
+        assert math.exp(-2 * m * (alpha - P2) ** 2) <= BETA / 2 + 1e-12
+
+    def test_smaller_delta_needs_more_functions(self):
+        alpha = optimal_alpha(P1, P2, BETA, DELTA)
+        assert required_m(P1, P2, alpha, BETA, 1e-6) \
+            > required_m(P1, P2, alpha, BETA, 0.1)
+
+    def test_smaller_beta_needs_more_functions(self):
+        alpha = (P1 + P2) / 2
+        assert required_m(P1, P2, alpha, 1e-6, DELTA) \
+            > required_m(P1, P2, alpha, 0.1, DELTA)
+
+    def test_wider_gap_needs_fewer_functions(self):
+        assert required_m(0.9, 0.2, 0.55, BETA, DELTA) \
+            < required_m(0.6, 0.5, 0.55, BETA, DELTA)
+
+    def test_alpha_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            required_m(P1, P2, P1 + 0.01, BETA, DELTA)
+        with pytest.raises(ValueError):
+            required_m(P1, P2, P2 - 0.01, BETA, DELTA)
+
+
+class TestC2LSHParams:
+    def make(self, **overrides):
+        kwargs = dict(n=10_000, c=2, w=2.0, p1=P1, p2=P2, alpha=0.55, m=100,
+                      beta=0.01, delta=0.01)
+        kwargs.update(overrides)
+        return C2LSHParams(**kwargs)
+
+    def test_l_defaults_to_ceil_alpha_m(self):
+        params = self.make(alpha=0.55, m=100)
+        assert params.l == 55
+        params = self.make(alpha=0.551, m=100)
+        assert params.l == 56
+
+    def test_explicit_l_is_kept(self):
+        assert self.make(l=60).l == 60
+
+    def test_false_positive_budget(self):
+        assert self.make(beta=0.01, n=10_000).false_positive_budget == 100
+
+    def test_bounds_are_probabilities(self):
+        params = self.make()
+        assert 0 < params.false_negative_bound < 1
+        assert 0 < params.false_positive_bound < 1
+
+    def test_rho_exposed(self):
+        assert 0 < self.make().rho < 1
+
+    def test_success_probability(self):
+        assert self.make(delta=0.01).success_probability \
+            == pytest.approx(0.49)
+
+    def test_describe_mentions_key_fields(self):
+        text = self.make().describe()
+        assert "m=100" in text and "c=2" in text
+
+    def test_non_integer_c_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(c=1)
+
+    def test_alpha_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(alpha=0.8)
+
+    def test_bad_l_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(l=101)
+
+    def test_bad_n_and_m_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(n=0)
+        with pytest.raises(ValueError):
+            self.make(m=0)
+
+
+class TestDesignParams:
+    def test_euclidean_roundtrip(self):
+        family = PStableFamily(dim=20, c=2)
+        params = design_params(5000, family, c=2)
+        assert params.n == 5000
+        assert params.m >= 1
+        assert 1 <= params.l <= params.m
+        assert params.beta == pytest.approx(100 / 5000)
+
+    def test_beta_clamped_for_tiny_n(self):
+        family = PStableFamily(dim=4, c=2)
+        params = design_params(50, family, c=2)
+        assert params.beta <= 0.5
+
+    def test_m_grows_with_n(self):
+        """Larger n means smaller beta = 100/n, hence more functions."""
+        family = PStableFamily(dim=8, c=2)
+        small = design_params(1_000, family, c=2)
+        large = design_params(1_000_000, family, c=2)
+        assert large.m > small.m
+
+    def test_overrides_respected(self):
+        family = PStableFamily(dim=8, c=2)
+        p1, p2 = family.probabilities(2)
+        alpha = (p1 + p2) / 2
+        params = design_params(1000, family, c=2, m=300, alpha=alpha)
+        assert params.m == 300
+        assert params.alpha == alpha
+
+    def test_angular_family_supported(self):
+        params = design_params(2000, SignRandomProjectionFamily(dim=16), c=2)
+        assert 0 < params.p2 < params.p1 < 1
+
+    def test_hamming_family_supported(self):
+        params = design_params(2000, BitSamplingFamily(dim=64), c=2)
+        assert 0 < params.p2 < params.p1 < 1
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            design_params(0, PStableFamily(dim=4, c=2))
+
+    @given(st.integers(min_value=100, max_value=10**7))
+    @settings(max_examples=30, deadline=None)
+    def test_designed_l_always_valid(self, n):
+        family = PStableFamily(dim=8, w=2.0)
+        params = design_params(n, family, c=2)
+        assert 1 <= params.l <= params.m
+        assert params.p2 < params.alpha < params.p1

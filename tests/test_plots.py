@@ -1,0 +1,87 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval import AsciiChart
+
+
+def chart(**kwargs):
+    defaults = dict(width=40, height=10, title="t", x_label="k",
+                    y_label="io")
+    defaults.update(kwargs)
+    return AsciiChart(**defaults)
+
+
+class TestAsciiChart:
+    def test_renders_title_axes_and_legend(self):
+        c = chart()
+        c.add_series("a", [1, 2, 3], [1, 2, 3])
+        out = c.render()
+        assert out.splitlines()[0] == "t"
+        assert "o a" in out
+        assert "k" in out and "io" in out
+
+    def test_markers_differ_per_series(self):
+        c = chart()
+        c.add_series("a", [1], [1])
+        c.add_series("b", [2], [2])
+        out = c.render()
+        assert "o a" in out and "x b" in out
+
+    def test_extreme_points_land_on_borders(self):
+        c = chart()
+        c.add_series("a", [0, 10], [0, 10])
+        lines = c.render().splitlines()
+        plot = [line for line in lines if "|" in line]
+        # Max y on the first plot row, min y on the last.
+        assert "o" in plot[0]
+        assert "o" in plot[-1]
+
+    def test_log_axis_rejects_nonpositive(self):
+        c = chart(y_log=True)
+        with pytest.raises(ValueError):
+            c.add_series("a", [1, 2], [0.0, 2.0])
+
+    def test_log_axis_spreads_decades(self):
+        c = chart(y_log=True)
+        c.add_series("a", [1, 2, 3], [1, 10, 100])
+        lines = [line for line in c.render().splitlines() if "|" in line]
+        rows_with_marker = [i for i, line in enumerate(lines)
+                            if "o" in line]
+        # Three decades land on three distinct, evenly spread rows.
+        assert len(rows_with_marker) == 3
+        gaps = [b - a for a, b in zip(rows_with_marker,
+                                      rows_with_marker[1:])]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_constant_series_renders(self):
+        c = chart()
+        c.add_series("flat", [1, 2, 3], [5, 5, 5])
+        assert "flat" in c.render()
+
+    def test_single_point(self):
+        c = chart()
+        c.add_series("dot", [3], [7])
+        assert "o" in c.render()
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            chart().render()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            chart().add_series("a", [1, 2], [1])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            chart().add_series("a", [], [])
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=2, height=2)
+
+    def test_print(self, capsys):
+        c = chart()
+        c.add_series("a", [1], [1])
+        c.print()
+        assert "a" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""Tests for repro.hashing.probability — the analytic collision models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.probability import (
+    angular_collision_probability,
+    choose_w,
+    hamming_collision_probability,
+    pstable_collision_probability,
+    rho,
+)
+
+
+class TestPStableCollisionProbability:
+    def test_zero_distance_collides_surely(self):
+        assert pstable_collision_probability(0.0, w=1.0) == 1.0
+
+    def test_scalar_returns_float(self):
+        p = pstable_collision_probability(1.0, w=2.0)
+        assert isinstance(p, float)
+        assert 0.0 < p < 1.0
+
+    def test_array_input_preserves_shape(self):
+        s = np.array([0.5, 1.0, 2.0, 4.0])
+        p = pstable_collision_probability(s, w=1.5)
+        assert p.shape == s.shape
+
+    def test_monotonically_decreasing_in_distance(self):
+        s = np.linspace(0.01, 20.0, 200)
+        p = pstable_collision_probability(s, w=2.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_monotonically_increasing_in_width(self):
+        widths = np.linspace(0.1, 10.0, 50)
+        p = [pstable_collision_probability(1.0, w) for w in widths]
+        assert all(a < b for a, b in zip(p, p[1:]))
+
+    def test_scale_invariance(self):
+        """p depends only on w/s: doubling both leaves p unchanged."""
+        a = pstable_collision_probability(1.0, w=2.0)
+        b = pstable_collision_probability(3.0, w=6.0)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_far_distance_probability_vanishes(self):
+        assert pstable_collision_probability(1e6, w=1.0) < 1e-5
+
+    def test_known_value_w1_s1(self):
+        """Spot value computed from the closed form (Datar et al.)."""
+        from scipy.special import ndtr
+        t = 1.0
+        expected = 1 - 2 * ndtr(-t) \
+            - 2 / (math.sqrt(2 * math.pi) * t) * (1 - math.exp(-0.5))
+        assert pstable_collision_probability(1.0, 1.0) == pytest.approx(
+            expected, rel=1e-12)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            pstable_collision_probability(-1.0, w=1.0)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            pstable_collision_probability(1.0, w=0.0)
+        with pytest.raises(ValueError):
+            pstable_collision_probability(1.0, w=-2.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=1e-3, max_value=1e2))
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_probability(self, s, w):
+        p = pstable_collision_probability(s, w)
+        assert 0.0 <= p <= 1.0
+
+
+class TestAngularCollisionProbability:
+    def test_zero_angle(self):
+        assert angular_collision_probability(0.0) == 1.0
+
+    def test_opposite_vectors(self):
+        assert angular_collision_probability(math.pi) == pytest.approx(0.0)
+
+    def test_orthogonal(self):
+        assert angular_collision_probability(math.pi / 2) == pytest.approx(0.5)
+
+    def test_vectorized(self):
+        theta = np.array([0.0, math.pi / 2, math.pi])
+        p = angular_collision_probability(theta)
+        assert np.allclose(p, [1.0, 0.5, 0.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            angular_collision_probability(-0.1)
+        with pytest.raises(ValueError):
+            angular_collision_probability(3.5)
+
+
+class TestHammingCollisionProbability:
+    def test_zero_distance(self):
+        assert hamming_collision_probability(0, dim=16) == 1.0
+
+    def test_full_distance(self):
+        assert hamming_collision_probability(16, dim=16) == 0.0
+
+    def test_linear_in_distance(self):
+        assert hamming_collision_probability(4, dim=16) == pytest.approx(0.75)
+
+    def test_vectorized(self):
+        p = hamming_collision_probability(np.array([0, 8, 16]), dim=16)
+        assert np.allclose(p, [1.0, 0.5, 0.0])
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_collision_probability(1, dim=0)
+
+    def test_out_of_range_distance_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_collision_probability(17, dim=16)
+        with pytest.raises(ValueError):
+            hamming_collision_probability(-1, dim=16)
+
+
+class TestRho:
+    def test_known_ordering(self):
+        """Better separation (smaller p2) lowers rho."""
+        assert rho(0.7, 0.3) < rho(0.7, 0.5)
+
+    def test_identity_case(self):
+        assert rho(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_invalid_probabilities_rejected(self):
+        for p1, p2 in [(0.3, 0.7), (0.5, 0.5), (1.0, 0.5), (0.5, 0.0)]:
+            with pytest.raises(ValueError):
+                rho(p1, p2)
+
+    @given(st.floats(min_value=0.05, max_value=0.90),
+           st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_rho_below_one_when_sensitive(self, p2, gap):
+        p1 = min(0.99, p2 + gap * (1 - p2) + 1e-6)
+        if p1 <= p2:
+            return
+        assert 0.0 < rho(p1, p2) < 1.0
+
+
+class TestChooseW:
+    def test_returns_positive_width(self):
+        assert choose_w(2.0) > 0
+
+    def test_is_a_local_minimum_of_rho(self):
+        w = choose_w(2.0)
+
+        def r(width):
+            return rho(pstable_collision_probability(1.0, width),
+                       pstable_collision_probability(2.0, width))
+
+        assert r(w) <= r(w * 1.2) + 1e-9
+        assert r(w) <= r(w * 0.8) + 1e-9
+
+    def test_larger_c_changes_width(self):
+        assert choose_w(2.0) != choose_w(4.0)
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            choose_w(1.0)
+        with pytest.raises(ValueError):
+            choose_w(0.5)

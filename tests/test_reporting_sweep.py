@@ -1,0 +1,142 @@
+"""Tests for table rendering and the experiment-runner helpers."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro import C2LSH, LinearScan
+from repro.data import exact_knn
+from repro.data.profiles import Dataset
+from repro.eval import (
+    Table,
+    best_under_recall,
+    format_table,
+    grid,
+    run_experiment,
+    timed_build,
+    timed_queries,
+    write_csv,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(["x", "y"], title="T")
+        t.add(1, 2)
+        t.add([3, 4])
+        assert "T" in t.render()
+        assert len(t.rows) == 2
+
+    def test_add_validates_width(self):
+        t = Table(["x", "y"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_print_to_stream(self):
+        buf = io.StringIO()
+        t = Table(["x"])
+        t.add(5)
+        t.print(file=buf)
+        assert "5" in buf.getvalue()
+
+    def test_save_csv(self, tmp_path):
+        t = Table(["x", "y"])
+        t.add(1, "a")
+        path = tmp_path / "t.csv"
+        t.save_csv(path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["x", "y"], ["1", "a"]]
+
+    def test_write_csv_function(self, tmp_path):
+        path = tmp_path / "w.csv"
+        write_csv(path, ["h"], [[1], [2]])
+        with open(path) as fh:
+            assert len(list(csv.reader(fh))) == 3
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        combos = list(grid(a=[1, 2], b=["x", "y"]))
+        assert len(combos) == 4
+        assert {"a": 2, "b": "x"} in combos
+
+    def test_single_axis(self):
+        assert list(grid(a=[1])) == [{"a": 1}]
+
+    def test_empty(self):
+        assert list(grid()) == [{}]
+
+
+class TestRunners:
+    @pytest.fixture()
+    def dataset(self, tiny):
+        data, queries = tiny
+        return Dataset("tiny", data, queries, "test dataset")
+
+    def test_timed_build_reports_time(self, dataset):
+        report = timed_build(lambda: LinearScan(), dataset.data)
+        assert report.build_time >= 0
+        assert report.index.is_fitted
+
+    def test_timed_queries_summary(self, dataset):
+        index = LinearScan().fit(dataset.data)
+        tids, tdists = exact_knn(dataset.data, dataset.queries, 3)
+        summary = timed_queries(index, dataset.queries, 3, tids, tdists)
+        assert summary.recall == 1.0
+        assert summary.ratio == pytest.approx(1.0)
+        assert summary.query_time > 0
+
+    def test_run_experiment_record(self, dataset):
+        tids, tdists = exact_knn(dataset.data, dataset.queries, 3)
+        record = run_experiment("c2lsh", lambda: C2LSH(seed=0), dataset, 3,
+                                tids, tdists, config={"c": 2})
+        assert record.method == "c2lsh"
+        assert record.dataset == "tiny"
+        assert record.k == 3
+        assert record.config == {"c": 2}
+        assert 0 <= record.summary.recall <= 1
+
+    def test_best_under_recall(self, dataset):
+        tids, tdists = exact_knn(dataset.data, dataset.queries, 3)
+        records = [
+            run_experiment("linear", lambda: LinearScan(), dataset, 3,
+                           tids, tdists),
+            run_experiment("c2lsh", lambda: C2LSH(seed=0), dataset, 3,
+                           tids, tdists),
+        ]
+        best = best_under_recall(records, 1.0,
+                                 cost=lambda r: r.summary.candidates)
+        assert best is not None
+        assert best.summary.recall == 1.0
+
+    def test_best_under_recall_none_when_unreachable(self, dataset):
+        tids, tdists = exact_knn(dataset.data, dataset.queries, 3)
+        records = [run_experiment("linear", lambda: LinearScan(), dataset,
+                                  3, tids, tdists)]
+        assert best_under_recall(records, 1.1) is None

@@ -1,0 +1,68 @@
+"""Tests for QueryResult / QueryStats containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import QueryResult, QueryStats
+
+
+class TestQueryResult:
+    def test_basic_construction(self):
+        r = QueryResult(np.array([3, 1]), np.array([0.5, 1.5]))
+        assert len(r) == 2
+        assert r.stats.rounds == 0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResult(np.array([1, 2]), np.array([0.1]))
+
+    def test_unsorted_distances_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResult(np.array([1, 2]), np.array([2.0, 1.0]))
+
+    def test_empty_result_allowed(self):
+        r = QueryResult(np.empty(0, np.int64), np.empty(0))
+        assert len(r) == 0
+
+
+class TestFromCandidates:
+    def test_selects_k_nearest(self):
+        ids = np.array([10, 20, 30, 40])
+        dists = np.array([4.0, 1.0, 3.0, 2.0])
+        r = QueryResult.from_candidates(ids, dists, k=2)
+        assert r.ids.tolist() == [20, 40]
+        assert r.distances.tolist() == [1.0, 2.0]
+
+    def test_fewer_candidates_than_k(self):
+        r = QueryResult.from_candidates(np.array([5]), np.array([1.0]), k=10)
+        assert len(r) == 1
+
+    def test_stats_passed_through(self):
+        stats = QueryStats(rounds=3)
+        r = QueryResult.from_candidates(np.array([1]), np.array([0.0]), 1,
+                                        stats)
+        assert r.stats.rounds == 3
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            QueryResult.from_candidates(np.array([1]), np.array([0.0]), k=0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResult.from_candidates(np.array([1, 2]), np.array([0.0]), 1)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_full_sort(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.permutation(n)
+        dists = rng.random(n)
+        r = QueryResult.from_candidates(ids, dists, k)
+        full = np.argsort(dists, kind="stable")[:min(k, n)]
+        assert np.allclose(np.sort(r.distances), np.sort(dists[full]))
+        assert np.all(np.diff(r.distances) >= 0)
+        assert len(r) == min(k, n)

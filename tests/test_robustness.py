@@ -1,0 +1,122 @@
+"""Failure-injection tests: malformed and adversarial inputs.
+
+Every index must reject non-finite inputs with a clear message (not hash
+NaN into garbage buckets), and must behave sanely on degenerate-but-legal
+data: duplicates, constant columns, a single cluster, extreme scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    C2LSH,
+    E2LSH,
+    LinearScan,
+    LSBForest,
+    MultiProbeLSH,
+    QALSH,
+)
+from repro.validation import as_data_matrix, as_query_vector, require_finite
+
+ALL_INDEXES = [
+    lambda: C2LSH(seed=0),
+    lambda: QALSH(seed=0),
+    lambda: E2LSH(K=4, L=4, seed=0),
+    lambda: LSBForest(n_trees=2, seed=0),
+    lambda: MultiProbeLSH(K=4, L=2, n_probes=4, seed=0),
+    lambda: LinearScan(),
+]
+
+IDS = ["c2lsh", "qalsh", "e2lsh", "lsb", "mplsh", "linear"]
+
+
+@pytest.fixture()
+def good_data():
+    return np.random.default_rng(0).standard_normal((300, 8))
+
+
+class TestValidationHelpers:
+    def test_require_finite_passes_clean(self):
+        arr = np.ones(5)
+        assert require_finite(arr, "x") is arr
+
+    def test_require_finite_counts_bad_values(self):
+        arr = np.array([1.0, np.nan, np.inf])
+        with pytest.raises(ValueError, match="2 non-finite"):
+            require_finite(arr, "x")
+
+    def test_as_data_matrix_rejects_empty_dim(self):
+        with pytest.raises(ValueError):
+            as_data_matrix(np.empty((5, 0)))
+
+    def test_as_query_vector_shape(self):
+        with pytest.raises(ValueError):
+            as_query_vector(np.zeros(3), 4)
+
+
+@pytest.mark.parametrize("factory", ALL_INDEXES, ids=IDS)
+class TestNonFiniteInputs:
+    def test_nan_in_fit_rejected(self, factory, good_data):
+        bad = good_data.copy()
+        bad[5, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            factory().fit(bad)
+
+    def test_inf_in_fit_rejected(self, factory, good_data):
+        bad = good_data.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            factory().fit(bad)
+
+    def test_nan_query_rejected(self, factory, good_data):
+        index = factory().fit(good_data)
+        q = np.full(8, np.nan)
+        with pytest.raises(ValueError, match="non-finite"):
+            index.query(q, k=1)
+
+
+@pytest.mark.parametrize("factory", ALL_INDEXES, ids=IDS)
+class TestDegenerateData:
+    def test_heavy_duplicates(self, factory):
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal((10, 8))
+        data = np.repeat(base, 40, axis=0)  # 400 points, 10 distinct
+        index = factory().fit(data)
+        result = index.query(base[0], k=3)
+        assert len(result) >= 1
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_columns(self, factory):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((300, 8))
+        data[:, 4:] = 7.0  # half the coordinates carry no information
+        index = factory().fit(data)
+        result = index.query(data[11], k=1)
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_tight_cluster(self, factory):
+        rng = np.random.default_rng(3)
+        data = 5.0 + 0.01 * rng.standard_normal((300, 8))
+        index = factory().fit(data)
+        result = index.query(data[0], k=5)
+        assert len(result) >= 1
+        assert np.all(result.distances < 1.0)
+
+    def test_extreme_scale(self, factory):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((300, 8)) * 1e6
+        index = factory().fit(data)
+        result = index.query(data[42], k=1)
+        assert result.ids[0] == 42
+
+
+class TestAllIdenticalPoints:
+    """The fully degenerate case: every point equal."""
+
+    @pytest.mark.parametrize("factory", ALL_INDEXES, ids=IDS)
+    def test_identical_points(self, factory):
+        data = np.ones((250, 6))
+        index = factory().fit(data)
+        result = index.query(np.ones(6), k=3)
+        assert len(result) >= 1
+        assert np.all(result.distances == 0.0)

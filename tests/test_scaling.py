@@ -1,0 +1,61 @@
+"""Tests for the base-radius (distance unit) estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import estimate_base_radius, resolve_base_radius
+
+
+class TestEstimateBaseRadius:
+    def test_regular_grid_unit(self):
+        """Points on an integer line have NN distance exactly 1."""
+        data = np.arange(100, dtype=np.float64)[:, None]
+        assert estimate_base_radius(data, rng=0) == pytest.approx(1.0)
+
+    def test_scales_linearly_with_data(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((500, 8))
+        r1 = estimate_base_radius(base, rng=1)
+        r2 = estimate_base_radius(base * 10, rng=1)
+        assert r2 == pytest.approx(10 * r1, rel=1e-9)
+
+    def test_duplicates_fall_back_to_positive_mean(self):
+        data = np.zeros((50, 4))
+        data[:10] = 1.0  # some positive distances exist
+        r = estimate_base_radius(data, rng=0)
+        assert r > 0
+
+    def test_all_identical_points_fall_back_to_one(self):
+        data = np.ones((30, 4))
+        assert estimate_base_radius(data, rng=0) == 1.0
+
+    def test_sample_size_respected(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((5000, 4))
+        r = estimate_base_radius(data, rng=1, sample_size=100)
+        assert r > 0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_base_radius(np.zeros((1, 3)))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((300, 6))
+        assert estimate_base_radius(data, rng=7) \
+            == estimate_base_radius(data, rng=7)
+
+
+class TestResolveBaseRadius:
+    def test_auto_estimates(self):
+        data = np.arange(50, dtype=np.float64)[:, None]
+        assert resolve_base_radius("auto", data, rng=0) == pytest.approx(1.0)
+
+    def test_number_passes_through(self):
+        assert resolve_base_radius(3.5, None) == 3.5
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_base_radius(0.0, None)
+        with pytest.raises(ValueError):
+            resolve_base_radius(-1, None)

@@ -1,0 +1,108 @@
+"""Tests for the paired statistical comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.significance import (
+    bootstrap_mean_diff,
+    sign_test,
+)
+
+
+class TestSignTest:
+    def test_counts(self):
+        r = sign_test([3, 1, 2, 2], [1, 3, 2, 1])
+        assert r.n_pairs == 4
+        assert r.wins == 2
+        assert r.losses == 1
+        assert r.ties == 1
+
+    def test_identical_inputs_not_significant(self):
+        r = sign_test([1.0] * 20, [1.0] * 20)
+        assert r.p_value == 1.0
+        assert not r.significant()
+
+    def test_uniform_domination_is_significant(self):
+        a = np.arange(20) + 1.0
+        r = sign_test(a, a - 0.5)
+        assert r.wins == 20
+        assert r.p_value < 0.001
+        assert r.significant()
+
+    def test_balanced_differences_not_significant(self):
+        a = np.array([1.0, 2.0] * 10)
+        b = np.array([2.0, 1.0] * 10)
+        r = sign_test(a, b)
+        assert r.p_value > 0.5
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(30), rng.random(30)
+        assert sign_test(a, b).p_value == pytest.approx(
+            sign_test(b, a).p_value)
+
+    def test_exact_small_case(self):
+        """5 wins of 5: two-sided p = 2 * (1/2)^5 = 1/16."""
+        r = sign_test([1] * 5, [0] * 5)
+        assert r.p_value == pytest.approx(2 / 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sign_test([1, 2], [1])
+        with pytest.raises(ValueError):
+            sign_test([], [])
+
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_p_is_probability(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(n), rng.random(n)
+        r = sign_test(a, b)
+        assert 0.0 <= r.p_value <= 1.0
+        assert r.wins + r.losses + r.ties == n
+
+
+class TestBootstrap:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(0)
+        b = rng.random(50)
+        a = b + 1.0
+        r = bootstrap_mean_diff(a, b, seed=1)
+        assert r.mean_diff == pytest.approx(1.0)
+        assert r.excludes_zero
+        assert r.ci_low <= r.mean_diff <= r.ci_high
+
+    def test_no_difference_includes_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal(100)
+        b = a + rng.standard_normal(100) * 0.001 \
+            - rng.standard_normal(100) * 0.001
+        r = bootstrap_mean_diff(a, a.copy(), seed=1)
+        assert not r.excludes_zero
+        del b
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random(30), rng.random(30)
+        r1 = bootstrap_mean_diff(a, b, seed=7)
+        r2 = bootstrap_mean_diff(a, b, seed=7)
+        assert (r1.ci_low, r1.ci_high) == (r2.ci_low, r2.ci_high)
+
+    def test_wider_confidence_widens_interval(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random(40), rng.random(40)
+        narrow = bootstrap_mean_diff(a, b, confidence=0.5, seed=0)
+        wide = bootstrap_mean_diff(a, b, confidence=0.99, seed=0)
+        assert (wide.ci_high - wide.ci_low) \
+            >= (narrow.ci_high - narrow.ci_low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([1], [1, 2])
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([1, 2], [1, 2], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([1, 2], [1, 2], n_resamples=3)

@@ -1,0 +1,119 @@
+"""Tests for the auto-tuner and the family-calibration diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import tune_c2lsh
+from repro.core.tuning import TuningResult
+from repro.hashing import (
+    PStableFamily,
+    SignRandomProjectionFamily,
+    check_family_calibration,
+    empirical_collision_probability,
+    estimate_rho,
+)
+
+
+@pytest.fixture(scope="module")
+def tune_data():
+    from repro.data import gaussian_clusters
+    return gaussian_clusters(1230, 16, n_clusters=8, cluster_std=1.0,
+                             spread=10.0, seed=0)
+
+
+class TestTuneC2LSH:
+    def test_reaches_easy_target(self, tune_data):
+        result = tune_c2lsh(tune_data, target_recall=0.7, k=5,
+                            c_grid=(2,), budget_grid=(25, 100), seed=0)
+        assert result.reached_target
+        assert result.best.recall >= 0.7
+
+    def test_trials_cover_grid(self, tune_data):
+        result = tune_c2lsh(tune_data, target_recall=0.7, k=5,
+                            c_grid=(2, 3), budget_grid=(25, 100), seed=0)
+        assert len(result.trials) == 4
+
+    def test_best_is_cheapest_eligible(self, tune_data):
+        result = tune_c2lsh(tune_data, target_recall=0.7, k=5,
+                            c_grid=(2, 3), budget_grid=(25, 100), seed=0)
+        eligible = [t for t in result.trials if t.recall >= 0.7]
+        assert result.best.cost == min(t.cost for t in eligible)
+
+    def test_build_best_produces_working_index(self, tune_data):
+        result = tune_c2lsh(tune_data, target_recall=0.7, k=5,
+                            c_grid=(2,), budget_grid=(100,), seed=0)
+        index = result.build_best().fit(tune_data)
+        assert len(index.query(tune_data[0], k=5)) == 5
+
+    def test_unreachable_target_reports_failure(self, tune_data):
+        result = TuningResult(best=None, trials=[], target_recall=2.0)
+        assert not result.reached_target
+        with pytest.raises(RuntimeError):
+            result.build_best()
+
+    def test_validation(self, tune_data):
+        with pytest.raises(ValueError):
+            tune_c2lsh(tune_data, target_recall=0.0)
+        with pytest.raises(ValueError):
+            tune_c2lsh(tune_data[:10], n_validation=30)
+
+
+class TestDiagnostics:
+    def test_empirical_matches_model_pstable(self):
+        family = PStableFamily(16, w=2.0)
+        for s in (0.5, 1.0, 3.0):
+            rate = empirical_collision_probability(family, s,
+                                                   n_functions=4000)
+            assert rate == pytest.approx(family.collision_probability(s),
+                                         abs=0.03)
+
+    def test_zero_distance_always_collides(self):
+        family = PStableFamily(8, w=1.0)
+        assert empirical_collision_probability(family, 0.0, 500) == 1.0
+
+    def test_calibration_report_pass(self):
+        family = PStableFamily(16, w=2.0)
+        report = check_family_calibration(family, [0.5, 1.0, 2.0],
+                                          n_functions=3000)
+        assert report.calibrated
+        assert len(report.rows()) == 3
+
+    def test_calibration_report_fail_for_wrong_model(self):
+        """A family lying about its model must be caught."""
+        family = PStableFamily(16, w=2.0)
+
+        class Liar:
+            dim = 16
+
+            def sample(self, m, rng):
+                return family.sample(m, rng)
+
+            def collision_probability(self, s):
+                return 0.99  # nonsense
+
+        report = check_family_calibration(Liar(), [3.0], n_functions=2000)
+        assert not report.calibrated
+
+    def test_estimate_rho_sensible(self):
+        family = PStableFamily(16, w=2.0)
+        rho = estimate_rho(family, radius=1.0, c=2.0, n_functions=4000)
+        assert 0.2 < rho < 0.9
+
+    def test_estimate_rho_angular(self):
+        family = SignRandomProjectionFamily(16)
+        rho = estimate_rho(family, radius=math.pi / 6, c=2.0,
+                           n_functions=4000)
+        assert 0.0 < rho < 1.0
+
+    def test_validation(self):
+        family = PStableFamily(8, w=1.0)
+        with pytest.raises(ValueError):
+            empirical_collision_probability(family, -1.0)
+        with pytest.raises(ValueError):
+            empirical_collision_probability(family, 1.0, n_functions=0)
+        with pytest.raises(ValueError):
+            check_family_calibration(family, [])
+        with pytest.raises(ValueError):
+            estimate_rho(family, radius=0.0)

@@ -1,0 +1,49 @@
+"""Executable-documentation test: run the tutorial's Python snippets.
+
+Docs rot; this test extracts every complete Python block from
+``docs/TUTORIAL.md`` and executes them in one shared namespace (in order,
+like a reader following along), so the tutorial cannot drift from the API.
+Blocks containing ``...`` placeholders (the bring-your-own-family sketch)
+and shell blocks are skipped by construction.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).resolve().parent.parent \
+    / "docs" / "TUTORIAL.md"
+
+
+def python_blocks():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    return [b for b in blocks if "..." not in b]
+
+
+BLOCKS = python_blocks()
+
+
+def test_tutorial_exists_and_has_blocks():
+    assert TUTORIAL.exists()
+    assert len(BLOCKS) >= 6
+
+
+def test_tutorial_blocks_run_in_order(tmp_path, monkeypatch):
+    """Execute the runnable blocks sequentially in one namespace."""
+    monkeypatch.chdir(tmp_path)  # snippet 5 writes index.npz
+    namespace = {}
+    # The tutorial's dataset is big for a unit test; shrink it by seeding
+    # the namespace with smaller data after the first block runs.
+    for i, block in enumerate(BLOCKS):
+        if i == 0:
+            # Patch the first block's size down, keeping the code intact.
+            block = block.replace("(20_000, 64)", "(2_000, 64)")
+        try:
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - assertion formatting
+            pytest.fail(f"tutorial block {i} failed: {exc}\n---\n{block}")
+    # The walkthrough should have produced a persisted index and a live one.
+    assert (tmp_path / "index.npz").exists()
+    assert "live" in namespace

@@ -1,0 +1,76 @@
+"""Stateful property test: UpdatableC2LSH against a brute-force oracle.
+
+Hypothesis drives random interleavings of inserts, deletes and queries
+while a dict-based oracle tracks the live points; after every step the
+index's 1-NN answer must match the oracle exactly (the 1-NN is unique with
+probability 1 for continuous data, so approximate search with the fallback
+guarantee must find it among its candidates — and the wrapper's buffer
+merge must never lose or resurrect points).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.updatable import UpdatableC2LSH
+
+DIM = 6
+
+
+class UpdatableOracle(RuleBasedStateMachine):
+    """Random insert/delete/query interleavings vs a dict oracle."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**31))
+    def setup(self, seed):
+        self.rng = np.random.default_rng(seed)
+        self.index = UpdatableC2LSH(seed=0, c=2, min_index_size=60,
+                                    rebuild_threshold=0.3)
+        self.oracle = {}
+
+    @rule(count=st.integers(min_value=1, max_value=25))
+    def insert(self, count):
+        batch = self.rng.standard_normal((count, DIM)) * 5
+        handles = self.index.insert(batch)
+        self.oracle.update(zip(handles.tolist(), batch))
+
+    @precondition(lambda self: len(self.oracle) > 3)
+    @rule(fraction=st.floats(min_value=0.1, max_value=0.5))
+    def delete_some(self, fraction):
+        live = sorted(self.oracle)
+        count = max(1, int(len(live) * fraction))
+        victims = [live[int(i)] for i in
+                   self.rng.choice(len(live), size=count, replace=False)]
+        self.index.delete(victims)
+        for handle in victims:
+            del self.oracle[handle]
+
+    @precondition(lambda self: len(self.oracle) >= 1)
+    @rule()
+    def query_matches_oracle(self):
+        handles = np.array(sorted(self.oracle))
+        rows = np.vstack([self.oracle[h] for h in handles])
+        anchor = rows[int(self.rng.integers(0, len(rows)))]
+        query = anchor + 1e-4 * self.rng.standard_normal(DIM)
+        result = self.index.query(query, k=1)
+        true_handle = handles[
+            int(np.argmin(np.linalg.norm(rows - query, axis=1)))
+        ]
+        assert result.ids[0] == true_handle
+
+    @invariant()
+    def live_count_matches(self):
+        if hasattr(self, "oracle"):
+            assert len(self.index) == len(self.oracle)
+
+
+TestUpdatableOracle = UpdatableOracle.TestCase
+TestUpdatableOracle.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None,
+)

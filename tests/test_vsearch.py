@@ -1,0 +1,85 @@
+"""Tests for the vectorized row-wise binary search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.vsearch import row_searchsorted
+
+
+class TestRowSearchsorted:
+    def test_matches_numpy_left(self):
+        rows = np.array([[1, 3, 5, 7], [0, 0, 2, 2]])
+        targets = np.array([4, 0])
+        got = row_searchsorted(rows, targets, side="left")
+        assert got.tolist() == [2, 0]
+
+    def test_matches_numpy_right(self):
+        rows = np.array([[1, 3, 5, 7], [0, 0, 2, 2]])
+        targets = np.array([3, 0])
+        got = row_searchsorted(rows, targets, side="right")
+        assert got.tolist() == [2, 2]
+
+    def test_target_below_all(self):
+        rows = np.array([[5, 6, 7]])
+        assert row_searchsorted(rows, np.array([0])).tolist() == [0]
+
+    def test_target_above_all(self):
+        rows = np.array([[5, 6, 7]])
+        assert row_searchsorted(rows, np.array([100])).tolist() == [3]
+
+    def test_empty_rows(self):
+        rows = np.empty((3, 0))
+        got = row_searchsorted(rows, np.zeros(3))
+        assert got.tolist() == [0, 0, 0]
+
+    def test_single_row_single_element(self):
+        rows = np.array([[2]])
+        assert row_searchsorted(rows, np.array([2]), "left").tolist() == [0]
+        assert row_searchsorted(rows, np.array([2]), "right").tolist() == [1]
+
+    def test_float_rows(self):
+        rows = np.array([[0.1, 0.2, 0.3]])
+        assert row_searchsorted(rows, np.array([0.25])).tolist() == [2]
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ValueError):
+            row_searchsorted(np.zeros((1, 2)), np.zeros(1), side="middle")
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            row_searchsorted(np.zeros((2, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            row_searchsorted(np.zeros(3), np.zeros(1))
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=40),
+        st.sampled_from(["left", "right"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_numpy(self, m, n, side, seed):
+        rng = np.random.default_rng(seed)
+        rows = np.sort(rng.integers(-15, 15, size=(m, n)), axis=1)
+        targets = rng.integers(-18, 18, size=m)
+        got = row_searchsorted(rows, targets, side=side)
+        want = np.array([
+            np.searchsorted(rows[j], targets[j], side=side) for j in range(m)
+        ])
+        assert np.array_equal(got, want)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_numpy_floats(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = np.sort(rng.standard_normal((4, 25)), axis=1)
+        targets = rng.standard_normal(4)
+        for side in ("left", "right"):
+            got = row_searchsorted(rows, targets, side=side)
+            want = np.array([
+                np.searchsorted(rows[j], targets[j], side=side)
+                for j in range(4)
+            ])
+            assert np.array_equal(got, want)

@@ -1,0 +1,162 @@
+"""Tests for multi-word Z-order codes and LLCP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.zorder import (
+    code_words,
+    deinterleave,
+    interleave,
+    llcp,
+    sort_order,
+)
+
+
+def _reference_bitstring(values, u):
+    """Naive reference: the interleaved bitstring as a Python string."""
+    m = len(values)
+    bits = []
+    for round_idx in range(u):
+        for j in range(m):
+            bits.append((values[j] >> (u - 1 - round_idx)) & 1)
+    return "".join(str(b) for b in bits)
+
+
+def _code_to_bitstring(code, total_bits):
+    s = "".join(format(int(word), "064b") for word in code)
+    return s[:total_bits]
+
+
+class TestCodeWords:
+    def test_exact_word_boundary(self):
+        assert code_words(8, 8) == 1
+        assert code_words(8, 16) == 2
+
+    def test_rounding_up(self):
+        assert code_words(3, 30) == 2  # 90 bits
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            code_words(0, 8)
+        with pytest.raises(ValueError):
+            code_words(4, 0)
+
+
+class TestInterleave:
+    def test_single_value_identity_layout(self):
+        codes = interleave(np.array([[0b101]]), u=3)
+        assert _code_to_bitstring(codes[0], 3) == "101"
+
+    def test_two_values_alternate(self):
+        # v0 = 0b11, v1 = 0b00 -> bits 1,0,1,0
+        codes = interleave(np.array([[3, 0]]), u=2)
+        assert _code_to_bitstring(codes[0], 4) == "1010"
+
+    def test_matches_reference_bitstring(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**9, size=(20, 5))
+        codes = interleave(values, u=9)
+        for row, code in zip(values, codes):
+            assert _code_to_bitstring(code, 45) \
+                == _reference_bitstring(row.tolist(), 9)
+
+    def test_multiword_codes(self):
+        values = np.array([[2**15 - 1] * 10])  # 10 * 16 = 160 bits, 3 words
+        codes = interleave(values, u=16)
+        assert codes.shape == (1, 3)
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            interleave(np.array([[8]]), u=3)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            interleave(np.array([[-1]]), u=3)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            interleave(np.array([1, 2, 3]), u=3)
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_deinterleave_inverts_interleave(self, m, u, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**u, size=(8, m))
+        codes = interleave(values, u)
+        assert np.array_equal(deinterleave(codes, m, u), values)
+
+    def test_deinterleave_shape_check(self):
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros((2, 5), dtype=np.uint64), m=2, u=4)
+
+
+class TestLLCP:
+    def test_identical_codes(self):
+        codes = interleave(np.array([[5, 6]]), u=4)
+        assert llcp(codes, codes[0], 8).tolist() == [8]
+
+    def test_known_prefix_length(self):
+        a = interleave(np.array([[0b1000]]), u=4)[0]
+        b = interleave(np.array([[0b1001]]), u=4)
+        assert llcp(b, a, 4).tolist() == [3]
+
+    def test_first_bit_differs(self):
+        a = interleave(np.array([[0b1000]]), u=4)[0]
+        b = interleave(np.array([[0b0000]]), u=4)
+        assert llcp(b, a, 4).tolist() == [0]
+
+    def test_across_word_boundary(self):
+        """Codes agreeing for > 64 bits measure LLCP in the second word."""
+        m, u = 5, 16  # 80 bits
+        base = np.array([[1, 2, 3, 4, 5]])
+        other = base.copy()
+        other[0, 0] ^= 1  # flip the lowest bit of v0 -> bit position 64..79
+        ca = interleave(base, u)
+        cb = interleave(other, u)
+        lengths = llcp(cb, ca[0], m * u)
+        assert 64 <= lengths[0] < m * u
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            llcp(np.zeros((2, 2), dtype=np.uint64),
+                 np.zeros(1, dtype=np.uint64), 64)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_string_prefix(self, seed):
+        rng = np.random.default_rng(seed)
+        m, u = 4, 9
+        values = rng.integers(0, 2**u, size=(10, m))
+        qvals = rng.integers(0, 2**u, size=(1, m))
+        codes = interleave(values, u)
+        qcode = interleave(qvals, u)[0]
+        qs = _reference_bitstring(qvals[0].tolist(), u)
+        got = llcp(codes, qcode, m * u)
+        for row, got_len in zip(values, got):
+            ts = _reference_bitstring(row.tolist(), u)
+            want = 0
+            while want < m * u and ts[want] == qs[want]:
+                want += 1
+            assert got_len == want
+
+
+class TestSortOrder:
+    def test_orders_lexicographically(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**10, size=(50, 3))
+        codes = interleave(values, u=10)
+        order = sort_order(codes)
+        as_tuples = [tuple(codes[i].tolist()) for i in order]
+        assert as_tuples == sorted(as_tuples)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            sort_order(np.zeros(4, dtype=np.uint64))
