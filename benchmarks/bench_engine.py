@@ -10,6 +10,7 @@ extensions") — keeping them measured keeps them honest.
 import numpy as np
 import pytest
 
+from repro.core.batchengine import BatchQueryCounter
 from repro.core.counting import CollisionCounter
 from repro.storage import BPlusTree, PageManager
 from repro.storage.extsort import ExternalSorter
@@ -17,6 +18,7 @@ from repro.storage.vsearch import row_searchsorted
 from repro.storage.zorder import interleave, llcp
 
 N, M = 20_000, 200
+Q = 64  # batch width for the lockstep-engine benchmarks
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +61,31 @@ def test_expand_full_walk(benchmark, engine):
 
     counts = benchmark.pedantic(walk, rounds=3, iterations=1)
     assert counts.max() <= M
+
+
+def test_row_searchsorted_batched(benchmark, engine):
+    """All Q x M binary searches of a batch round in one call."""
+    counter, _ = engine
+    rng = np.random.default_rng(4)
+    targets = rng.integers(-500, 500, size=(Q, M))
+    result = benchmark(
+        lambda: row_searchsorted(counter.sorted_ids, targets, side="left"))
+    assert result.shape == (Q, M)
+
+
+def test_batch_expand_first_round(benchmark, engine):
+    """One lockstep radius round for a whole batch of queries."""
+    counter, _ = engine
+    rng = np.random.default_rng(5)
+    qids = rng.integers(-500, 500, size=(Q, M))
+    active = np.arange(Q)
+
+    def first_round():
+        bc = BatchQueryCounter(counter, qids)
+        return bc.expand(1, active)
+
+    scanned, _ = benchmark.pedantic(first_round, rounds=3, iterations=1)
+    assert scanned.shape == (Q,)
 
 
 def test_zorder_interleave(benchmark):

@@ -1,5 +1,6 @@
 """The paper's contribution: C2LSH and its parameter/counting machinery."""
 
+from .batchengine import BatchQueryCounter, WithinRadiusTally, batch_query
 from .c2lsh import C2LSH
 from .counting import CollisionCounter, QueryCounter
 from .explain import QueryExplanation, RoundTrace, explain
@@ -19,6 +20,9 @@ __all__ = [
     "required_m",
     "CollisionCounter",
     "QueryCounter",
+    "BatchQueryCounter",
+    "WithinRadiusTally",
+    "batch_query",
     "QueryResult",
     "QueryStats",
     "save_c2lsh",

@@ -33,6 +33,8 @@ import numpy as np
 from ..hashing.pstable import PStableFamily
 from ..validation import as_data_matrix, as_query_vector, require_finite
 from ..storage.datafile import DataFile
+from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
+from .batchengine import WithinRadiusTally, batch_query
 from .counting import CollisionCounter
 from .scaling import resolve_base_radius
 from .params import C2LSHParams, design_params
@@ -40,8 +42,9 @@ from .results import QueryResult, QueryStats
 
 __all__ = ["C2LSH"]
 
-#: Hard cap on radius-expansion rounds; 2**64 exceeds any int64 id span.
-_MAX_ROUNDS = 64
+#: Batch queries are processed in blocks of this many to bound the batch
+#: engine's (block, n) working matrices; see :meth:`C2LSH.query_batch`.
+_BATCH_BLOCK = 1024
 
 
 class C2LSH:
@@ -193,6 +196,10 @@ class C2LSH:
         n_candidates = 0
         stats = QueryStats()
         rehashable = self._funcs.rehashable
+        # Running within-c*R count for T1: amortized O(cands log cands)
+        # over the whole query instead of rescanning every verified
+        # distance each round.
+        tally = WithinRadiusTally() if self._use_t1 and rehashable else None
 
         radius = 1
         while True:
@@ -209,17 +216,15 @@ class C2LSH:
                 cand_ids.append(fresh)
                 cand_dists.append(dists)
                 n_candidates += fresh.size
+                if tally is not None:
+                    tally.add(dists)
 
             if n_candidates >= target:
                 stats.terminated_by = "T2"
                 break
-            if self._use_t1 and rehashable and n_candidates >= k:
+            if tally is not None and n_candidates >= k:
                 threshold = params.c * radius * self._scale
-                within = sum(
-                    int(np.count_nonzero(d <= threshold))
-                    for d in cand_dists
-                )
-                if within >= k:
+                if tally.count_within(threshold) >= k:
                     stats.terminated_by = "T1"
                     break
             if not rehashable or counter.exhausted or stats.rounds >= _MAX_ROUNDS:
@@ -323,11 +328,22 @@ class C2LSH:
         """True distances for ``ids``, charging reads per the data layout."""
         return self._family.distance(self._datafile.read(ids), query)
 
-    def query_batch(self, queries, k=1):
+    def query_batch(self, queries, k=1, n_jobs=None):
         """Answer many queries; returns a list of :class:`QueryResult`.
 
-        Hashing is batched: one ``(q, m)`` matrix product instead of ``q``
-        separate ones, which matters when ``m`` is in the hundreds.
+        Queries run through the lockstep batch engine
+        (:mod:`repro.core.batchengine`): hashing is one ``(q, m)`` matrix
+        product, and every radius round advances all still-active queries
+        with one batched binary search and one flat collision bincount.
+        Results — ids, distances, stats, charged I/O — are identical to
+        looping :meth:`query`; only the throughput changes.
+
+        ``n_jobs > 1`` verifies candidate distances on a thread pool (page
+        charging stays on the calling thread). With ``incremental=False``
+        (the A2 recount ablation) the per-query sequential path is kept, so
+        the ablation's I/O pattern stays untouched. Batches larger than
+        1024 queries are processed in blocks to bound the engine's
+        ``(block, n)`` working matrices.
         """
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.float64)
@@ -337,8 +353,16 @@ class C2LSH:
             )
         require_finite(queries, "queries")
         all_ids = self._funcs.hash(self._hash_view(queries))
-        return [self._query_hashed(q, qids, k)
-                for q, qids in zip(queries, all_ids)]
+        if not self._incremental:
+            return [self._query_hashed(q, qids, k)
+                    for q, qids in zip(queries, all_ids)]
+        results = []
+        for start in range(0, queries.shape[0], _BATCH_BLOCK):
+            stop = start + _BATCH_BLOCK
+            results.extend(batch_query(self, queries[start:stop],
+                                       all_ids[start:stop], k,
+                                       n_jobs=n_jobs))
+        return results
 
     def __repr__(self):
         if not self.is_fitted:

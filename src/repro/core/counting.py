@@ -49,6 +49,7 @@ class CollisionCounter:
         columns = bucket_ids.T  # (m, n)
         self.order = np.argsort(columns, axis=1, kind="stable")
         self.sorted_ids = np.take_along_axis(columns, self.order, axis=1)
+        self._rank = None
         #: Global bucket-id span; see QueryCounter._intervals_for for the
         #: saturation rule that keeps huge radii well-defined.
         self.id_span = int(bucket_ids.max()) - int(bucket_ids.min())
@@ -58,6 +59,24 @@ class CollisionCounter:
             self._pm.charge_write(
                 self.m * self._pm.pages_for(self.n, self._entry_bytes)
             )
+
+    @property
+    def rank(self):
+        """``(m, n)`` position of every object in every table's sort order.
+
+        The inverse permutation of :attr:`order`, built lazily (int32,
+        ``4*m*n`` bytes) and cached: the batch engine's dense counting
+        kernel turns "object in covered interval?" into two comparisons
+        against this matrix instead of gathering the interval's entries.
+        """
+        if self._rank is None:
+            rank = np.empty((self.m, self.n), dtype=np.int32)
+            np.put_along_axis(
+                rank, self.order,
+                np.arange(self.n, dtype=np.int32)[None, :], axis=1,
+            )
+            self._rank = rank
+        return self._rank
 
     def storage_pages(self, page_manager):
         """Total pages occupied by all hash-table entry files."""
@@ -127,23 +146,30 @@ class QueryCounter:
             )
         return radius
 
-    def _gather(self, segments):
-        """Collect object ids for (table, lo, hi) segments and charge I/O.
+    def _gather(self, rows, lo, hi):
+        """Collect object ids for per-table ``[lo, hi)`` segments, charge I/O.
 
-        Each segment is one contiguous bucket-range scan; the shared cost
-        formula in ``PageManager.charge_bucket_scans`` prices them.
+        ``rows``/``lo``/``hi`` are parallel arrays: segment ``s`` is the
+        position range ``[lo[s], hi[s])`` of table ``rows[s]``. Each segment
+        is one contiguous bucket-range scan; the shared cost formula in
+        ``PageManager.charge_bucket_scans`` prices them. The gather itself
+        is a single flat fancy index built from ``np.repeat`` offsets — no
+        per-segment Python loop.
         """
-        pieces = [self._index.order[j, lo:hi] for j, lo, hi in segments
-                  if hi > lo]
-        pm = self._index._pm
-        if pm is not None and pieces:
-            pm.charge_bucket_scans(
-                [hi - lo for _, lo, hi in segments if hi > lo],
-                self._index._entry_bytes,
-            )
-        if not pieces:
+        keep = hi > lo
+        rows, lo, hi = rows[keep], lo[keep], hi[keep]
+        if rows.size == 0:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(pieces)
+        lengths = hi - lo
+        pm = self._index._pm
+        if pm is not None:
+            pm.charge_bucket_scans(lengths, self._index._entry_bytes)
+        total = int(lengths.sum())
+        # Flat position of element t of the output: lo[s] + (t - start[s])
+        # where s is t's segment and start[s] the cumulative offset.
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        pos = np.repeat(lo - starts, lengths) + np.arange(total)
+        return self._index.order[np.repeat(rows, lengths), pos]
 
     def expand(self, radius):
         """Grow coverage to ``radius``; return object ids newly counted.
@@ -158,27 +184,28 @@ class QueryCounter:
             return self._recount(radius)
 
         lo_new, hi_new = self._intervals_for(radius)
-        segments = []
         if self._started:
             if np.any(lo_new > self._lo) or np.any(hi_new < self._hi):
                 raise AssertionError(
                     "virtual-rehashing nesting violated: some table's "
                     f"radius-{radius} interval shrank"
                 )
-            for j in np.flatnonzero((lo_new < self._lo)
-                                    | (self._hi < hi_new)):
-                if lo_new[j] < self._lo[j]:
-                    segments.append((j, int(lo_new[j]), int(self._lo[j])))
-                if self._hi[j] < hi_new[j]:
-                    segments.append((j, int(self._hi[j]), int(hi_new[j])))
+            # Interleave each table's left extension [lo_new, lo_old) and
+            # right extension [hi_old, hi_new); _gather drops empty ones.
+            js = np.flatnonzero((lo_new < self._lo) | (self._hi < hi_new))
+            rows = np.repeat(js, 2)
+            seg_lo = np.empty(rows.size, dtype=np.int64)
+            seg_hi = np.empty(rows.size, dtype=np.int64)
+            seg_lo[0::2], seg_hi[0::2] = lo_new[js], self._lo[js]
+            seg_lo[1::2], seg_hi[1::2] = self._hi[js], hi_new[js]
         else:
-            segments = [(j, int(lo_new[j]), int(hi_new[j]))
-                        for j in range(self._index.m)]
+            rows = np.arange(self._index.m)
+            seg_lo, seg_hi = lo_new, hi_new
         self._lo, self._hi = lo_new, hi_new
         self._started = True
         self.radius = radius
 
-        touched = self._gather(segments)
+        touched = self._gather(rows, seg_lo, seg_hi)
         self._apply(touched)
         return touched
 
@@ -209,12 +236,10 @@ class QueryCounter:
         """Ablation mode: rebuild all counts from scratch at ``radius``."""
         self.counts[:] = 0
         lo_new, hi_new = self._intervals_for(radius)
-        segments = [(j, int(lo_new[j]), int(hi_new[j]))
-                    for j in range(self._index.m)]
         self._lo, self._hi = lo_new, hi_new
         self._started = True
         self.radius = radius
-        touched = self._gather(segments)
+        touched = self._gather(np.arange(self._index.m), lo_new, hi_new)
         self._apply(touched)
         return touched
 

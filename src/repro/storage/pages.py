@@ -91,20 +91,29 @@ class PageManager:
         self.charge_read(pages)
         return pages
 
-    def charge_bucket_scans(self, entry_counts, entry_bytes):
-        """Charge one bucket-range scan per count; returns total pages.
+    def bucket_scan_pages(self, entry_counts, entry_bytes):
+        """Per-scan page costs of bucket-range scans, without charging.
 
         Locating a non-empty range lands on its first data page, so each
         positive count costs ``max(1, ceil(count / entries_per_page))``
         pages; zero counts are free. This is *the* bucket cost formula —
-        every index in the repository routes range scans through it so the
-        methods stay comparable.
+        every index in the repository routes range scans through it (via
+        :meth:`charge_bucket_scans`) so the methods stay comparable; the
+        batch query engine uses the uncharged form to attribute one global
+        charge back to individual queries.
         """
         counts = np.asarray(entry_counts, dtype=np.int64)
         if np.any(counts < 0):
             raise ValueError("entry counts must be non-negative")
         epp = self.entries_per_page(entry_bytes)
-        pages = int(np.sum(np.maximum(1, -(-counts // epp)) * (counts > 0)))
+        return np.maximum(1, -(-counts // epp)) * (counts > 0)
+
+    def charge_bucket_scans(self, entry_counts, entry_bytes):
+        """Charge one bucket-range scan per count; returns total pages.
+
+        See :meth:`bucket_scan_pages` for the per-scan cost formula.
+        """
+        pages = int(self.bucket_scan_pages(entry_counts, entry_bytes).sum())
         self.charge_read(pages)
         return pages
 

@@ -70,6 +70,51 @@ class TestRowSearchsorted:
         ])
         assert np.array_equal(got, want)
 
+    def test_batched_targets_match_per_row(self):
+        rows = np.array([[1, 3, 5, 7], [0, 0, 2, 2]])
+        targets = np.array([[4, 0], [8, -1], [1, 2]])  # (Q=3, m=2)
+        got = row_searchsorted(rows, targets, side="left")
+        assert got.shape == (3, 2)
+        want = np.stack([row_searchsorted(rows, t, side="left")
+                         for t in targets])
+        assert np.array_equal(got, want)
+
+    def test_batched_empty_rows(self):
+        got = row_searchsorted(np.empty((2, 0)), np.zeros((5, 2)))
+        assert got.shape == (5, 2)
+        assert not got.any()
+
+    def test_batched_zero_queries(self):
+        rows = np.array([[1, 2, 3]])
+        got = row_searchsorted(rows, np.empty((0, 1)))
+        assert got.shape == (0, 1)
+
+    def test_batched_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            row_searchsorted(np.zeros((2, 3)), np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            row_searchsorted(np.zeros((2, 3)), np.asarray(1.0))
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from(["left", "right"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_batched_matches_numpy(self, m, n, q, side, seed):
+        rng = np.random.default_rng(seed)
+        rows = np.sort(rng.integers(-15, 15, size=(m, n)), axis=1)
+        targets = rng.integers(-18, 18, size=(q, m))
+        got = row_searchsorted(rows, targets, side=side)
+        want = np.array([
+            [np.searchsorted(rows[j], targets[i, j], side=side)
+             for j in range(m)]
+            for i in range(q)
+        ])
+        assert np.array_equal(got, want)
+
     @given(st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=40, deadline=None)
     def test_property_matches_numpy_floats(self, seed):
