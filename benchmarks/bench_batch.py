@@ -29,6 +29,22 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import C2LSH  # noqa: E402
+from repro.obs import Histogram  # noqa: E402
+
+
+def _latency_summary(results):
+    """p50/p95/p99 per-query latency (ms) from ``QueryStats.elapsed_s``."""
+    hist = Histogram("latency.seconds")
+    for r in results:
+        hist.observe(r.stats.elapsed_s)
+    snap = hist.snapshot()
+    return {
+        "p50_ms": round(snap["p50"] * 1e3, 4),
+        "p95_ms": round(snap["p95"] * 1e3, 4),
+        "p99_ms": round(snap["p99"] * 1e3, 4),
+        "mean_ms": round(snap["mean"] * 1e3, 4),
+        "max_ms": round(snap["max"] * 1e3, 4),
+    }
 
 
 def run_once(n, dim, n_queries, k, seed, n_jobs):
@@ -60,9 +76,11 @@ def run_once(n, dim, n_queries, k, seed, n_jobs):
         "config": {"n": n, "dim": dim, "queries": n_queries, "k": k,
                    "seed": seed, "n_jobs": n_jobs},
         "sequential": {"seconds": round(t_seq, 4),
-                       "queries_per_sec": round(n_queries / t_seq, 2)},
+                       "queries_per_sec": round(n_queries / t_seq, 2),
+                       "latency": _latency_summary(seq)},
         "batch": {"seconds": round(t_bat, 4),
-                  "queries_per_sec": round(n_queries / t_bat, 2)},
+                  "queries_per_sec": round(n_queries / t_bat, 2),
+                  "latency": _latency_summary(bat)},
         "speedup": round(t_seq / t_bat, 3),
         "identical_results": identical,
     }
@@ -93,10 +111,12 @@ def main(argv=None):
     result["smoke"] = args.smoke
 
     print(f"n={args.n} dim={args.dim} Q={args.queries} k={args.k}")
-    print(f"sequential: {result['sequential']['seconds']:.3f}s "
-          f"({result['sequential']['queries_per_sec']:.1f} q/s)")
-    print(f"batch:      {result['batch']['seconds']:.3f}s "
-          f"({result['batch']['queries_per_sec']:.1f} q/s)")
+    for label in ("sequential", "batch"):
+        lat = result[label]["latency"]
+        print(f"{label + ':':<12}{result[label]['seconds']:.3f}s "
+              f"({result[label]['queries_per_sec']:.1f} q/s)  "
+              f"p50={lat['p50_ms']:.2f}ms p95={lat['p95_ms']:.2f}ms "
+              f"p99={lat['p99_ms']:.2f}ms")
     print(f"speedup:    {result['speedup']:.2f}x  "
           f"identical={result['identical_results']}")
 

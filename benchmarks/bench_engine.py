@@ -10,8 +10,10 @@ extensions") — keeping them measured keeps them honest.
 import numpy as np
 import pytest
 
+from repro import C2LSH
 from repro.core.batchengine import BatchQueryCounter
 from repro.core.counting import CollisionCounter
+from repro.obs import SnapshotSink, tracing
 from repro.storage import BPlusTree, PageManager
 from repro.storage.extsort import ExternalSorter
 from repro.storage.vsearch import row_searchsorted
@@ -119,3 +121,39 @@ def test_external_sort(benchmark):
     order = benchmark.pedantic(lambda: sorter.sorted_order(keys), rounds=3,
                                iterations=1)
     assert np.array_equal(order, np.argsort(keys, kind="stable"))
+
+
+@pytest.fixture(scope="module")
+def fitted_index():
+    """A fitted C2LSH index plus one warm query for the tracing overhead
+    pair below."""
+    rng = np.random.default_rng(6)
+    data = rng.standard_normal((5_000, 24))
+    index = C2LSH(seed=0).fit(data)
+    query = rng.standard_normal(24)
+    index.query(query, k=10)  # warm lazy state outside the timed region
+    return index, query
+
+
+def test_query_untraced(benchmark, fitted_index):
+    """Baseline full-query latency with telemetry disabled (the default).
+
+    Pairs with :func:`test_query_traced`; the gap between the two is the
+    observability overhead, which the obs subsystem promises stays
+    negligible when no trace is active.
+    """
+    index, query = fitted_index
+    result = benchmark(lambda: index.query(query, k=10))
+    assert result.ids.size > 0
+
+
+def test_query_traced(benchmark, fitted_index):
+    """Full-query latency under an active SnapshotSink trace."""
+    index, query = fitted_index
+
+    def traced():
+        with tracing(SnapshotSink(), keep_events=False):
+            return index.query(query, k=10)
+
+    result = benchmark(traced)
+    assert result.ids.size > 0

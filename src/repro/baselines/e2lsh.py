@@ -25,10 +25,12 @@ Implementation notes
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from ..core.scaling import resolve_base_radius
+from ..obs import trace
 from ..hashing.probability import choose_w, pstable_collision_probability
 from ..hashing.pstable import PStableFamily
 from ..storage.hashfile import ENTRY_BYTES
@@ -157,7 +159,8 @@ class E2LSH:
             self._object_pages = max(1, self._pm.pages_for(1, dim * 8))
             self._pm.charge_write(
                 len(self.radii) * self.L * self._pm.pages_for(n, ENTRY_BYTES)
-                + self._pm.pages_for(n, dim * 8)
+                + self._pm.pages_for(n, dim * 8),
+                site="build",
             )
         return self
 
@@ -179,6 +182,7 @@ class E2LSH:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        started = time.perf_counter()
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
         snapshot = self._pm.snapshot() if self._pm is not None else None
@@ -188,45 +192,63 @@ class E2LSH:
         n_candidates = 0
 
         hashed_query = query / self._scale
-        for radius, tables in zip(self.radii, self._tables):
-            qkeys = tables.query_keys(hashed_query)
-            for t in range(self.L):
-                bucket = tables.bucket(t, qkeys[t])
-                stats.scanned_entries += int(bucket.size)
-                if self._pm is not None:
-                    # Locating the bucket lands on its first data page.
-                    self._pm.charge_read(
-                        max(1, self._pm.pages_for(bucket.size, ENTRY_BYTES))
+        with trace.span("query", k=int(k), index="e2lsh") as qspan:
+            for radius, tables in zip(self.radii, self._tables):
+                with trace.span("round", radius=int(radius)):
+                    with trace.span("hash"):
+                        qkeys = tables.query_keys(hashed_query)
+                    for t in range(self.L):
+                        with trace.span("count_round", table=t):
+                            bucket = tables.bucket(t, qkeys[t])
+                            stats.scanned_entries += int(bucket.size)
+                            if self._pm is not None:
+                                # Locating the bucket lands on its first
+                                # data page.
+                                self._pm.charge_read(
+                                    max(1, self._pm.pages_for(
+                                        bucket.size, ENTRY_BYTES)),
+                                    site="bucket_scan",
+                                )
+                            fresh = bucket[~seen[bucket]]
+                            fresh = np.unique(fresh)
+                        if fresh.size:
+                            seen[fresh] = True
+                            with trace.span("verify",
+                                            count=int(fresh.size)):
+                                if self._pm is not None:
+                                    self._pm.charge_read(
+                                        self._object_pages * fresh.size,
+                                        site="data_read",
+                                    )
+                                diff = self._data[fresh] - query
+                                dists = np.sqrt(
+                                    np.einsum("ij,ij->i", diff, diff))
+                            cand_ids.append(fresh)
+                            cand_dists.append(dists)
+                            n_candidates += fresh.size
+                    stats.rounds += 1
+                    stats.final_radius = int(radius)
+                    threshold = self.c * radius * self._scale
+                    within = sum(
+                        int(np.count_nonzero(d <= threshold))
+                        for d in cand_dists
                     )
-                fresh = bucket[~seen[bucket]]
-                fresh = np.unique(fresh)
-                if fresh.size:
-                    seen[fresh] = True
-                    if self._pm is not None:
-                        self._pm.charge_read(self._object_pages * fresh.size)
-                    diff = self._data[fresh] - query
-                    dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-                    cand_ids.append(fresh)
-                    cand_dists.append(dists)
-                    n_candidates += fresh.size
-            stats.rounds += 1
-            stats.final_radius = int(radius)
-            threshold = self.c * radius * self._scale
-            within = sum(
-                int(np.count_nonzero(d <= threshold))
-                for d in cand_dists
-            )
-            if within >= k:
-                stats.terminated_by = "T1"
-                break
-        else:
-            stats.terminated_by = "exhausted"
+                if within >= k:
+                    stats.terminated_by = "T1"
+                    break
+            else:
+                stats.terminated_by = "exhausted"
 
-        stats.candidates = n_candidates
-        if snapshot is not None:
-            delta_io = self._pm.since(snapshot)
-            stats.io_reads = delta_io.reads
-            stats.io_writes = delta_io.writes
+            stats.candidates = n_candidates
+            if snapshot is not None:
+                delta_io = self._pm.since(snapshot)
+                stats.io_reads = delta_io.reads
+                stats.io_writes = delta_io.writes
+            stats.elapsed_s = time.perf_counter() - started
+            qspan.set(rounds=stats.rounds, candidates=n_candidates,
+                      io_reads=stats.io_reads,
+                      terminated_by=stats.terminated_by,
+                      elapsed_s=stats.elapsed_s)
 
         if not cand_ids:
             # Empty buckets everywhere: return the conventional "no answer"

@@ -7,9 +7,12 @@ ceiling: a scan costs ``pages_for(n, dim * 8)`` sequential reads.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from ..obs import trace
 from ..validation import as_data_matrix, as_query_vector
 
 __all__ = ["LinearScan"]
@@ -42,7 +45,8 @@ class LinearScan:
         self._data = data
         if self._pm is not None:
             self._pm.charge_write(
-                self._pm.pages_for(data.shape[0], data.shape[1] * 8)
+                self._pm.pages_for(data.shape[0], data.shape[1] * 8),
+                site="build",
             )
         return self
 
@@ -57,18 +61,25 @@ class LinearScan:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        started = time.perf_counter()
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
         stats = QueryStats(candidates=n, scanned_entries=n,
                            terminated_by="scan")
         snapshot = self._pm.snapshot() if self._pm is not None else None
-        if self._pm is not None:
-            self._pm.charge_sequential_read(n, dim * 8)
-        dists = self._distance(self._data, query)
-        if snapshot is not None:
-            delta_io = self._pm.since(snapshot)
-            stats.io_reads = delta_io.reads
-            stats.io_writes = delta_io.writes
+        with trace.span("query", k=int(k), index="linear") as qspan:
+            with trace.span("verify", count=int(n)):
+                if self._pm is not None:
+                    self._pm.charge_sequential_read(n, dim * 8,
+                                                    site="data_scan")
+                dists = self._distance(self._data, query)
+            if snapshot is not None:
+                delta_io = self._pm.since(snapshot)
+                stats.io_reads = delta_io.reads
+                stats.io_writes = delta_io.writes
+            stats.elapsed_s = time.perf_counter() - started
+            qspan.set(candidates=n, io_reads=stats.io_reads,
+                      terminated_by="scan", elapsed_s=stats.elapsed_s)
         return QueryResult.from_candidates(
             np.arange(n, dtype=np.int64), dists, k, stats
         )

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from ..obs import trace
 from ..validation import as_data_matrix, as_query_vector
 from ..hashing.probability import pstable_collision_probability
 from ..storage.btree import BPlusTree
@@ -149,7 +151,8 @@ class LSBForest:
         ]
         if self._pm is not None:
             self._object_pages = max(1, self._pm.pages_for(1, dim * 8))
-            self._pm.charge_write(self._pm.pages_for(n, dim * 8))
+            self._pm.charge_write(self._pm.pages_for(n, dim * 8),
+                                  site="build")
         return self
 
     @property
@@ -169,6 +172,7 @@ class LSBForest:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        started = time.perf_counter()
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
         snapshot = self._pm.snapshot() if self._pm is not None else None
@@ -179,77 +183,87 @@ class LSBForest:
         mean_w = float(np.mean([t.w for t in self._trees]))
         total_bits = self._trees[0].total_bits
 
-        # One left and one right cursor per tree, merged by descending LLCP.
-        heap = []
-        tiebreak = 0
-        cursors = {}
-        for t_idx, tree in enumerate(self._trees):
-            qkey = tree.query_key(query)
-            pos = tree.btree.search_position(qkey)
-            for side, start in ((-1, pos - 1), (+1, pos)):
-                cursor = tree.btree.cursor(start)
-                cursors[(t_idx, side)] = (cursor, qkey)
-                entry = cursor.peek()
-                if entry is not None:
-                    key, oid = entry
-                    heapq.heappush(
-                        heap,
-                        (-_llcp(key, qkey, total_bits), tiebreak, t_idx,
-                         side, oid),
-                    )
-                    tiebreak += 1
+        qspan = trace.span("query", k=int(k), index="lsb")
+        with qspan:
+            # One left and one right cursor per tree, merged by descending
+            # LLCP.
+            heap = []
+            tiebreak = 0
+            cursors = {}
+            with trace.span("hash", trees=self.L):
+                for t_idx, tree in enumerate(self._trees):
+                    qkey = tree.query_key(query)
+                    pos = tree.btree.search_position(qkey)
+                    for side, start in ((-1, pos - 1), (+1, pos)):
+                        cursor = tree.btree.cursor(start)
+                        cursors[(t_idx, side)] = (cursor, qkey)
+                        entry = cursor.peek()
+                        if entry is not None:
+                            key, oid = entry
+                            heapq.heappush(
+                                heap,
+                                (-_llcp(key, qkey, total_bits), tiebreak,
+                                 t_idx, side, oid),
+                            )
+                            tiebreak += 1
 
-        seen = np.zeros(n, dtype=bool)
-        cand_ids, cand_dists = [], []
-        best = []  # max-heap (negated) of the k best distances so far
-        visited = 0
-        terminated = "exhausted"
+            seen = np.zeros(n, dtype=bool)
+            cand_ids, cand_dists = [], []
+            best = []  # max-heap (negated) of the k best distances so far
+            visited = 0
+            terminated = "exhausted"
 
-        while heap and visited < budget:
-            neg_llcp, _, t_idx, side, oid = heapq.heappop(heap)
-            visited += 1
-            if not seen[oid]:
-                seen[oid] = True
-                if self._pm is not None:
-                    self._pm.charge_read(self._object_pages)
-                dist = float(np.linalg.norm(self._data[oid] - query))
-                cand_ids.append(oid)
-                cand_dists.append(dist)
-                if len(best) < k:
-                    heapq.heappush(best, -dist)
-                elif dist < -best[0]:
-                    heapq.heapreplace(best, -dist)
-            cursor, qkey = cursors[(t_idx, side)]
-            cursor.advance(side)
-            entry = cursor.peek()
-            if entry is not None:
-                key, next_oid = entry
-                heapq.heappush(
-                    heap,
-                    (-_llcp(key, qkey, total_bits), tiebreak, t_idx, side,
-                     next_oid),
-                )
-                tiebreak += 1
+            with trace.span("round", budget=int(budget)):
+                while heap and visited < budget:
+                    neg_llcp, _, t_idx, side, oid = heapq.heappop(heap)
+                    visited += 1
+                    if not seen[oid]:
+                        seen[oid] = True
+                        if self._pm is not None:
+                            self._pm.charge_read(self._object_pages,
+                                                 site="data_read")
+                        dist = float(np.linalg.norm(self._data[oid] - query))
+                        cand_ids.append(oid)
+                        cand_dists.append(dist)
+                        if len(best) < k:
+                            heapq.heappush(best, -dist)
+                        elif dist < -best[0]:
+                            heapq.heapreplace(best, -dist)
+                    cursor, qkey = cursors[(t_idx, side)]
+                    cursor.advance(side)
+                    entry = cursor.peek()
+                    if entry is not None:
+                        key, next_oid = entry
+                        heapq.heappush(
+                            heap,
+                            (-_llcp(key, qkey, total_bits), tiebreak, t_idx,
+                             side, next_oid),
+                        )
+                        tiebreak += 1
 
-            if len(best) == k and heap:
-                frontier_llcp = -heap[0][0]
-                level = min(self.u, max(0, self.u - frontier_llcp // self.m))
-                threshold = self.t1_scale * mean_w * (2 ** level)
-                if -best[0] <= threshold:
-                    terminated = "T1"
-                    break
-        else:
-            if visited >= budget:
-                terminated = "T2"
+                    if len(best) == k and heap:
+                        frontier_llcp = -heap[0][0]
+                        level = min(self.u,
+                                    max(0, self.u - frontier_llcp // self.m))
+                        threshold = self.t1_scale * mean_w * (2 ** level)
+                        if -best[0] <= threshold:
+                            terminated = "T1"
+                            break
+                else:
+                    if visited >= budget:
+                        terminated = "T2"
 
-        stats.terminated_by = terminated
-        stats.scanned_entries = visited
-        stats.candidates = len(cand_ids)
-        stats.rounds = 1
-        if snapshot is not None:
-            delta_io = self._pm.since(snapshot)
-            stats.io_reads = delta_io.reads
-            stats.io_writes = delta_io.writes
+            stats.terminated_by = terminated
+            stats.scanned_entries = visited
+            stats.candidates = len(cand_ids)
+            stats.rounds = 1
+            if snapshot is not None:
+                delta_io = self._pm.since(snapshot)
+                stats.io_reads = delta_io.reads
+                stats.io_writes = delta_io.writes
+            stats.elapsed_s = time.perf_counter() - started
+            qspan.set(candidates=stats.candidates, io_reads=stats.io_reads,
+                      terminated_by=terminated, elapsed_s=stats.elapsed_s)
 
         if not cand_ids:
             return QueryResult(np.empty(0, np.int64), np.empty(0), stats)

@@ -18,10 +18,12 @@ dynamic collision counting (the paper).
 from __future__ import annotations
 
 import heapq
+import time
 
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from ..obs import trace
 from ..validation import as_data_matrix, as_query_vector
 from ..core.scaling import resolve_base_radius
 from ..hashing.probability import choose_w
@@ -149,7 +151,8 @@ class MultiProbeLSH:
             self._object_pages = max(1, self._pm.pages_for(1, dim * 8))
             self._pm.charge_write(
                 self.L * self._pm.pages_for(n, ENTRY_BYTES)
-                + self._pm.pages_for(n, dim * 8)
+                + self._pm.pages_for(n, dim * 8),
+                site="build",
             )
         return self
 
@@ -175,58 +178,71 @@ class MultiProbeLSH:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        started = time.perf_counter()
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
         snapshot = self._pm.snapshot() if self._pm is not None else None
         stats = QueryStats()
 
-        proj = self._funcs.project(query / self._scale)   # (K*L,)
-        home = np.floor(proj / self.w).astype(np.int64)
-        # Boundary distances: offset to the lower edge (perturb by -1) and
-        # to the upper edge (perturb by +1), squared as in the paper.
-        frac = proj - home * self.w
-        seen = np.zeros(n, dtype=bool)
-        cand_ids, cand_dists = [], []
-        n_candidates = 0
+        qspan = trace.span("query", k=int(k), index="multiprobe")
+        with qspan:
+            with trace.span("hash"):
+                proj = self._funcs.project(query / self._scale)   # (K*L,)
+                home = np.floor(proj / self.w).astype(np.int64)
+            # Boundary distances: offset to the lower edge (perturb by -1)
+            # and to the upper edge (perturb by +1), squared as in the
+            # paper.
+            frac = proj - home * self.w
+            seen = np.zeros(n, dtype=bool)
+            cand_ids, cand_dists = [], []
+            n_candidates = 0
 
-        with np.errstate(over="ignore"):
-            for t in range(self.L):
-                sl = slice(t * self.K, (t + 1) * self.K)
-                h = home[sl].copy()
-                coefs = self._coefs[t]
-                scores = np.empty(2 * self.K)
-                scores[0::2] = frac[sl] ** 2          # move down
-                scores[1::2] = (self.w - frac[sl]) ** 2  # move up
-                probes = [[]]  # home bucket first
-                probes.extend(perturbation_sequence(scores, self.n_probes))
-                for delta_set in probes:
-                    key = h.copy()
-                    for func_idx, direction in delta_set:
-                        key[func_idx] += direction
-                    bucket = self._bucket(t, int((key * coefs).sum()))
-                    stats.rounds += 1
-                    stats.scanned_entries += int(bucket.size)
-                    if self._pm is not None:
-                        self._pm.charge_bucket_scans([max(1, bucket.size)],
-                                                     ENTRY_BYTES)
-                    fresh = np.unique(bucket[~seen[bucket]])
-                    if fresh.size:
-                        seen[fresh] = True
-                        if self._pm is not None:
-                            self._pm.charge_read(
-                                self._object_pages * fresh.size)
-                        diff = self._data[fresh] - query
-                        cand_ids.append(fresh)
-                        cand_dists.append(
-                            np.sqrt(np.einsum("ij,ij->i", diff, diff)))
-                        n_candidates += fresh.size
+            with np.errstate(over="ignore"):
+                for t in range(self.L):
+                    with trace.span("round", table=t):
+                        sl = slice(t * self.K, (t + 1) * self.K)
+                        h = home[sl].copy()
+                        coefs = self._coefs[t]
+                        scores = np.empty(2 * self.K)
+                        scores[0::2] = frac[sl] ** 2          # move down
+                        scores[1::2] = (self.w - frac[sl]) ** 2  # move up
+                        probes = [[]]  # home bucket first
+                        probes.extend(
+                            perturbation_sequence(scores, self.n_probes))
+                        for delta_set in probes:
+                            key = h.copy()
+                            for func_idx, direction in delta_set:
+                                key[func_idx] += direction
+                            bucket = self._bucket(t, int((key * coefs).sum()))
+                            stats.rounds += 1
+                            stats.scanned_entries += int(bucket.size)
+                            if self._pm is not None:
+                                self._pm.charge_bucket_scans(
+                                    [max(1, bucket.size)], ENTRY_BYTES)
+                            fresh = np.unique(bucket[~seen[bucket]])
+                            if fresh.size:
+                                seen[fresh] = True
+                                if self._pm is not None:
+                                    self._pm.charge_read(
+                                        self._object_pages * fresh.size,
+                                        site="data_read")
+                                diff = self._data[fresh] - query
+                                cand_ids.append(fresh)
+                                cand_dists.append(
+                                    np.sqrt(np.einsum("ij,ij->i",
+                                                      diff, diff)))
+                                n_candidates += fresh.size
 
-        stats.candidates = n_candidates
-        stats.terminated_by = "probes-exhausted"
-        if snapshot is not None:
-            delta_io = self._pm.since(snapshot)
-            stats.io_reads = delta_io.reads
-            stats.io_writes = delta_io.writes
+            stats.candidates = n_candidates
+            stats.terminated_by = "probes-exhausted"
+            if snapshot is not None:
+                delta_io = self._pm.since(snapshot)
+                stats.io_reads = delta_io.reads
+                stats.io_writes = delta_io.writes
+            stats.elapsed_s = time.perf_counter() - started
+            qspan.set(candidates=n_candidates, io_reads=stats.io_reads,
+                      terminated_by=stats.terminated_by,
+                      elapsed_s=stats.elapsed_s)
         if not cand_ids:
             return QueryResult(np.empty(0, np.int64), np.empty(0), stats)
         ids = np.concatenate(cand_ids)

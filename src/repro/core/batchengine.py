@@ -31,10 +31,12 @@ calling thread so the :class:`~repro.storage.PageManager` never races.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..obs import trace
 from ..storage.vsearch import row_searchsorted
 from .results import QueryResult, QueryStats
 
@@ -191,7 +193,7 @@ class BatchQueryCounter:
         if pm is not None:
             if lengths.size:
                 pages = pm.bucket_scan_pages(lengths, index._entry_bytes)
-                pm.charge_read(int(pages.sum()))
+                pm.charge_read(int(pages.sum()), site="bucket_scan")
                 pages_per_query = np.bincount(
                     seg_q, weights=pages, minlength=A
                 ).astype(np.int64)
@@ -304,17 +306,22 @@ def _verify_many(index, jobs, io_reads, pool):
     return [f.result() for f in futures]
 
 
-def batch_query(index, queries, query_bucket_ids, k, n_jobs=None):
+def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
+                started=None):
     """Answer ``Q`` queries in lockstep; returns a list of results.
 
     Drives a :class:`BatchQueryCounter` through the radius grid, applying
     the T1/T2/exhausted termination rules and the graceful fallback
     per query with exactly the sequential path's semantics (see
     ``C2LSH._query_hashed``). ``n_jobs > 1`` runs distance verification on
-    a thread pool.
+    a thread pool. ``started`` (a ``time.perf_counter()`` value) lets the
+    caller include work done before entry — e.g. batched hashing — in the
+    per-query ``elapsed_s``; each query is stamped the moment it
+    terminates, not when the whole batch returns.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
+    t0 = started if started is not None else time.perf_counter()
     params = index.params
     n = index._data.shape[0]
     n_queries = queries.shape[0]
@@ -335,6 +342,7 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None):
     final_radius = np.zeros(n_queries, dtype=np.int64)
     scanned = np.zeros(n_queries, dtype=np.int64)
     io_reads = np.zeros(n_queries, dtype=np.int64)
+    elapsed = np.zeros(n_queries, dtype=np.float64)
     reason = [""] * n_queries
     tallies = ([WithinRadiusTally() for _ in range(n_queries)]
                if index._use_t1 and rehashable else None)
@@ -342,73 +350,97 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None):
     pool = (ThreadPoolExecutor(max_workers=int(n_jobs))
             if n_jobs is not None and int(n_jobs) > 1 else None)
     try:
-        active = np.arange(n_queries)
-        radius = 1
-        round_no = 0
-        while active.size:
-            round_no += 1
-            round_scanned, round_pages = counter.expand(radius, active)
-            rounds[active] += 1
-            final_radius[active] = radius
-            scanned[active] += round_scanned
-            if round_pages is not None:
-                io_reads[active] += round_pages
+        with trace.span("batch_block", queries=int(n_queries), k=int(k)):
+            active = np.arange(n_queries)
+            radius = 1
+            round_no = 0
+            while active.size:
+                round_no += 1
+                with trace.span("round", radius=int(radius),
+                                active=int(active.size)) as rspan:
+                    with trace.span("count_round", radius=int(radius)):
+                        round_scanned, round_pages = counter.expand(
+                            radius, active)
+                    rounds[active] += 1
+                    final_radius[active] = radius
+                    scanned[active] += round_scanned
+                    if round_pages is not None:
+                        io_reads[active] += round_pages
 
-            qs, fresh_ids = counter.crossings(params.l)
-            if qs.size:
-                bounds = np.searchsorted(qs, np.arange(active.size + 1))
-                jobs = [
-                    (int(active[i]), fresh_ids[bounds[i]:bounds[i + 1]],
-                     queries[active[i]])
-                    for i in range(active.size)
-                    if bounds[i + 1] > bounds[i]
-                ]
-                for (q, fresh, _), dists in zip(
-                        jobs, _verify_many(index, jobs, io_reads, pool)):
-                    is_candidate[q, fresh] = True
-                    cand_ids[q].append(fresh)
-                    cand_dists[q].append(dists)
-                    n_cand[q] += fresh.size
+                    qs, fresh_ids = counter.crossings(params.l)
+                    if qs.size:
+                        bounds = np.searchsorted(qs,
+                                                 np.arange(active.size + 1))
+                        jobs = [
+                            (int(active[i]),
+                             fresh_ids[bounds[i]:bounds[i + 1]],
+                             queries[active[i]])
+                            for i in range(active.size)
+                            if bounds[i + 1] > bounds[i]
+                        ]
+                        with trace.span("verify", count=int(fresh_ids.size)):
+                            verified = _verify_many(index, jobs, io_reads,
+                                                    pool)
+                        for (q, fresh, _), dists in zip(jobs, verified):
+                            is_candidate[q, fresh] = True
+                            cand_ids[q].append(fresh)
+                            cand_dists[q].append(dists)
+                            n_cand[q] += fresh.size
+                            if tallies is not None:
+                                tallies[q].add(dists)
+
+                    # Termination, in the sequential path's priority order:
+                    # T2 (budget full), then T1 (k within c*R), then
+                    # exhaustion.
+                    t2 = n_cand[active] >= target
+                    t1 = np.zeros(active.size, dtype=bool)
                     if tallies is not None:
-                        tallies[q].add(dists)
-
-            # Termination, in the sequential path's priority order:
-            # T2 (budget full), then T1 (k within c*R), then exhaustion.
-            t2 = n_cand[active] >= target
-            t1 = np.zeros(active.size, dtype=bool)
-            if tallies is not None:
-                threshold = c * radius * scale
-                for i in np.flatnonzero(~t2 & (n_cand[active] >= k)):
-                    q = int(active[i])
-                    t1[i] = tallies[q].count_within(threshold) >= k
-            if not rehashable or round_no >= MAX_ROUNDS:
-                exhausted = np.ones(active.size, dtype=bool)
-            else:
-                exhausted = counter.exhausted_mask(active)
-            done = t2 | t1 | exhausted
-            for i in np.flatnonzero(done):
-                reason[active[i]] = ("T2" if t2[i]
-                                     else "T1" if t1[i] else "exhausted")
-            finished = active[done]
-            if finished.size:
-                _fallback(index, queries, counter, is_candidate, cand_ids,
-                          cand_dists, n_cand, reason, io_reads, finished,
-                          k, params, pool)
-            active = active[~done]
-            radius *= c
+                        threshold = c * radius * scale
+                        for i in np.flatnonzero(~t2 & (n_cand[active] >= k)):
+                            q = int(active[i])
+                            t1[i] = tallies[q].count_within(threshold) >= k
+                    if not rehashable or round_no >= MAX_ROUNDS:
+                        exhausted = np.ones(active.size, dtype=bool)
+                    else:
+                        exhausted = counter.exhausted_mask(active)
+                    done = t2 | t1 | exhausted
+                    for i in np.flatnonzero(done):
+                        reason[active[i]] = ("T2" if t2[i]
+                                             else "T1" if t1[i]
+                                             else "exhausted")
+                    finished = active[done]
+                    if finished.size:
+                        _fallback(index, queries, counter, is_candidate,
+                                  cand_ids, cand_dists, n_cand, reason,
+                                  io_reads, finished, k, params, pool)
+                        elapsed[finished] = time.perf_counter() - t0
+                    rspan.set(finished=int(finished.size))
+                    active = active[~done]
+                    radius *= c
     finally:
         if pool is not None:
             pool.shutdown()
 
     results = []
+    traced = trace.active()
     for q in range(n_queries):
         stats = QueryStats(
             rounds=int(rounds[q]), final_radius=int(final_radius[q]),
             candidates=int(n_cand[q]), scanned_entries=int(scanned[q]),
-            terminated_by=reason[q],
+            terminated_by=reason[q], elapsed_s=float(elapsed[q]),
         )
         if pm is not None:
             stats.io_reads = int(io_reads[q])
+        if traced:
+            trace.event(
+                "query_stats", query=q, rounds=stats.rounds,
+                final_radius=stats.final_radius,
+                candidates=stats.candidates,
+                scanned_entries=stats.scanned_entries,
+                io_reads=stats.io_reads, io_writes=stats.io_writes,
+                terminated_by=stats.terminated_by,
+                elapsed_s=stats.elapsed_s,
+            )
         ids = (np.concatenate(cand_ids[q]) if cand_ids[q]
                else np.empty(0, dtype=np.int64))
         dists = (np.concatenate(cand_dists[q]) if cand_dists[q]
@@ -441,8 +473,10 @@ def _fallback(index, queries, counter, is_candidate, cand_ids, cand_dists,
         jobs.append((q, extra, queries[q]))
     if not jobs:
         return
-    for (q, extra, _), dists in zip(
-            jobs, _verify_many(index, jobs, io_reads, pool)):
+    with trace.span("verify", fallback=True,
+                    count=int(sum(j[1].size for j in jobs))):
+        verified = _verify_many(index, jobs, io_reads, pool)
+    for (q, extra, _), dists in zip(jobs, verified):
         cand_ids[q].append(extra)
         cand_dists[q].append(dists)
         n_cand[q] += extra.size

@@ -28,9 +28,12 @@ extension beyond the 2012 paper (DESIGN.md §7).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..hashing.pstable import PStableFamily
+from ..obs import trace
 from ..validation import as_data_matrix, as_query_vector, require_finite
 from ..storage.datafile import DataFile
 from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
@@ -174,18 +177,30 @@ class C2LSH:
         """Answer a c-k-ANN query; returns a :class:`QueryResult`."""
         self._require_fitted()
         query = as_query_vector(query, self._data.shape[1])
-        return self._query_hashed(
-            query, self._funcs.hash(self._hash_view(query)), k
-        )
+        started = time.perf_counter()
+        with trace.span("query", k=int(k)) as qspan:
+            with trace.span("hash"):
+                qids = self._funcs.hash(self._hash_view(query))
+            return self._query_hashed(query, qids, k, started=started,
+                                      qspan=qspan)
 
-    def _query_hashed(self, query, query_bucket_ids, k):
-        """Query with precomputed bucket ids (batch path hashes once)."""
+    def _query_hashed(self, query, query_bucket_ids, k, started=None,
+                      qspan=trace.NULL_SPAN):
+        """Query with precomputed bucket ids (batch path hashes once).
+
+        ``started`` anchors ``stats.elapsed_s`` (defaults to now);
+        ``qspan`` is the enclosing telemetry span, annotated with the
+        final stats before it closes.
+        """
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        if started is None:
+            started = time.perf_counter()
         n = self._data.shape[0]
         params = self.params
         target = min(n, k + params.false_positive_budget)  # T2 threshold
         snapshot = self._pm.snapshot() if self._pm is not None else None
+        traced = trace.active()
 
         counter = self._counter.start_query(
             query_bucket_ids, incremental=self._incremental,
@@ -203,32 +218,43 @@ class C2LSH:
 
         radius = 1
         while True:
-            touched = counter.expand(radius)
-            stats.rounds += 1
-            stats.final_radius = radius
-            stats.scanned_entries += int(touched.size)
+            round_snap = self._pm.snapshot() \
+                if traced and self._pm is not None else None
+            stop = None
+            with trace.span("round", radius=radius) as rspan:
+                with trace.span("count_round", radius=radius):
+                    touched = counter.expand(radius)
+                    fresh = counter.newly_frequent(params.l)
+                    fresh = fresh[~is_candidate[fresh]]
+                stats.rounds += 1
+                stats.final_radius = radius
+                stats.scanned_entries += int(touched.size)
 
-            fresh = counter.newly_frequent(params.l)
-            fresh = fresh[~is_candidate[fresh]]
-            if fresh.size:
-                dists = self._verify(fresh, query)
-                is_candidate[fresh] = True
-                cand_ids.append(fresh)
-                cand_dists.append(dists)
-                n_candidates += fresh.size
-                if tally is not None:
-                    tally.add(dists)
+                if fresh.size:
+                    with trace.span("verify", count=int(fresh.size)):
+                        dists = self._verify(fresh, query)
+                    is_candidate[fresh] = True
+                    cand_ids.append(fresh)
+                    cand_dists.append(dists)
+                    n_candidates += fresh.size
+                    if tally is not None:
+                        tally.add(dists)
 
-            if n_candidates >= target:
-                stats.terminated_by = "T2"
-                break
-            if tally is not None and n_candidates >= k:
-                threshold = params.c * radius * self._scale
-                if tally.count_within(threshold) >= k:
-                    stats.terminated_by = "T1"
-                    break
-            if not rehashable or counter.exhausted or stats.rounds >= _MAX_ROUNDS:
-                stats.terminated_by = "exhausted"
+                if n_candidates >= target:
+                    stop = "T2"
+                elif tally is not None and n_candidates >= k:
+                    threshold = params.c * radius * self._scale
+                    if tally.count_within(threshold) >= k:
+                        stop = "T1"
+                if stop is None and (not rehashable or counter.exhausted
+                                     or stats.rounds >= _MAX_ROUNDS):
+                    stop = "exhausted"
+                if traced:
+                    self._annotate_round(rspan, radius, touched, fresh,
+                                         cand_dists, n_candidates, tally,
+                                         round_snap)
+            if stop is not None:
+                stats.terminated_by = stop
                 break
             radius *= params.c
 
@@ -241,8 +267,11 @@ class C2LSH:
                 need = min(k - n_candidates + params.false_positive_budget,
                            remaining.size)
                 extra = remaining[order[:need]]
+                with trace.span("verify", count=int(extra.size),
+                                fallback=True):
+                    extra_dists = self._verify(extra, query)
                 cand_ids.append(extra)
-                cand_dists.append(self._verify(extra, query))
+                cand_dists.append(extra_dists)
                 n_candidates += extra.size
                 stats.terminated_by = "fallback"
 
@@ -251,10 +280,45 @@ class C2LSH:
             delta_io = self._pm.since(snapshot)
             stats.io_reads = delta_io.reads
             stats.io_writes = delta_io.writes
+        stats.elapsed_s = time.perf_counter() - started
+        qspan.set(rounds=stats.rounds, final_radius=stats.final_radius,
+                  candidates=stats.candidates,
+                  scanned_entries=stats.scanned_entries,
+                  io_reads=stats.io_reads, io_writes=stats.io_writes,
+                  terminated_by=stats.terminated_by,
+                  elapsed_s=stats.elapsed_s)
 
         ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
         dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
         return QueryResult.from_candidates(ids, dists, k, stats)
+
+    def _annotate_round(self, rspan, radius, touched, fresh, cand_dists,
+                        n_candidates, tally, round_snap):
+        """Attach the round's full EXPLAIN record to its span (traced only).
+
+        These attributes are the single source of truth the
+        :func:`repro.core.explain.explain` tracer renders; computing them
+        costs a rescan of the verified distances, which is why this runs
+        only under an active trace.
+        """
+        threshold = self.params.c * radius * self._scale
+        if tally is not None:
+            # Idempotent for the T1 rule: thresholds are non-decreasing
+            # along the radius grid, so consuming the tally here returns
+            # the same counts the termination check sees.
+            within = tally.count_within(threshold)
+        else:
+            within = sum(int(np.count_nonzero(d <= threshold))
+                         for d in cand_dists)
+        best = min((float(d.min()) for d in cand_dists if d.size),
+                   default=float("inf"))
+        io_reads = self._pm.since(round_snap).reads \
+            if round_snap is not None else 0
+        rspan.set(radius=int(radius), scanned=int(touched.size),
+                  new_candidates=int(fresh.size),
+                  total_candidates=int(n_candidates),
+                  best_distance=best, t1_threshold=float(threshold),
+                  within_t1=int(within), io_reads=int(io_reads))
 
     def query_radius(self, query, radius, k=1):
         """Answer the decision-version (R, c)-NNS the paper formalizes.
@@ -282,6 +346,7 @@ class C2LSH:
                 "family"
             )
         query = as_query_vector(query, self._data.shape[1])
+        started = time.perf_counter()
         params = self.params
         grid_radius = 1
         while grid_radius * self._scale < radius:
@@ -290,22 +355,31 @@ class C2LSH:
                      k + params.false_positive_budget)
         snapshot = self._pm.snapshot() if self._pm is not None else None
 
-        counter = self._counter.start_query(
-            self._funcs.hash(self._hash_view(query)),
-            incremental=self._incremental,
-        )
-        touched = counter.expand(grid_radius)
-        frequent = counter.frequent(params.l)[:target]
-        dists = self._verify(frequent, query)
-        keep = dists <= params.c * radius
-        stats = QueryStats(rounds=1, final_radius=grid_radius,
-                           candidates=int(frequent.size),
-                           scanned_entries=int(touched.size),
-                           terminated_by="decision")
-        if snapshot is not None:
-            delta_io = self._pm.since(snapshot)
-            stats.io_reads = delta_io.reads
-            stats.io_writes = delta_io.writes
+        with trace.span("query", k=int(k), decision=True) as qspan:
+            with trace.span("hash"):
+                qids = self._funcs.hash(self._hash_view(query))
+            counter = self._counter.start_query(
+                qids, incremental=self._incremental,
+            )
+            with trace.span("count_round", radius=grid_radius):
+                touched = counter.expand(grid_radius)
+                frequent = counter.frequent(params.l)[:target]
+            with trace.span("verify", count=int(frequent.size)):
+                dists = self._verify(frequent, query)
+            keep = dists <= params.c * radius
+            stats = QueryStats(rounds=1, final_radius=grid_radius,
+                               candidates=int(frequent.size),
+                               scanned_entries=int(touched.size),
+                               terminated_by="decision")
+            if snapshot is not None:
+                delta_io = self._pm.since(snapshot)
+                stats.io_reads = delta_io.reads
+                stats.io_writes = delta_io.writes
+            stats.elapsed_s = time.perf_counter() - started
+            qspan.set(rounds=1, candidates=stats.candidates,
+                      io_reads=stats.io_reads, io_writes=stats.io_writes,
+                      terminated_by=stats.terminated_by,
+                      elapsed_s=stats.elapsed_s)
         return QueryResult.from_candidates(
             frequent[keep], dists[keep], k, stats
         ) if np.any(keep) else QueryResult(
@@ -352,16 +426,22 @@ class C2LSH:
                 f"queries must have shape (q, {self._data.shape[1]})"
             )
         require_finite(queries, "queries")
-        all_ids = self._funcs.hash(self._hash_view(queries))
+        started = time.perf_counter()
+        with trace.span("hash", queries=int(queries.shape[0])):
+            all_ids = self._funcs.hash(self._hash_view(queries))
         if not self._incremental:
-            return [self._query_hashed(q, qids, k)
-                    for q, qids in zip(queries, all_ids)]
+            results = []
+            for q, qids in zip(queries, all_ids):
+                with trace.span("query", k=int(k)) as qspan:
+                    results.append(self._query_hashed(q, qids, k,
+                                                      qspan=qspan))
+            return results
         results = []
         for start in range(0, queries.shape[0], _BATCH_BLOCK):
             stop = start + _BATCH_BLOCK
             results.extend(batch_query(self, queries[start:stop],
                                        all_ids[start:stop], k,
-                                       n_jobs=n_jobs))
+                                       n_jobs=n_jobs, started=started))
         return results
 
     def __repr__(self):

@@ -57,7 +57,8 @@ class CollisionCounter:
         self._entry_bytes = int(entry_bytes)
         if self._pm is not None:
             self._pm.charge_write(
-                self.m * self._pm.pages_for(self.n, self._entry_bytes)
+                self.m * self._pm.pages_for(self.n, self._entry_bytes),
+                site="build",
             )
 
     @property

@@ -1,13 +1,16 @@
 """EXPLAIN for C2LSH queries: a per-round trace of the search.
 
 Debugging an approximate index means answering "why did this query stop
-where it did?". :func:`explain` re-runs a query while recording, per radius
-round: the grid radius, entries scanned, objects that crossed the
-collision threshold, the closest verified distance so far, the state of
-both termination rules, and the I/O bill — then renders it as a table.
+where it did?". :func:`explain` runs the query under a
+:mod:`repro.obs` trace and rebuilds, per radius round: the grid radius,
+entries scanned, objects that crossed the collision threshold, the
+closest verified distance so far, the state of both termination rules,
+and the I/O bill — then renders it as a table.
 
-The trace drives the *real* engine (it reuses the index's counter and
-verification paths), so what it shows is exactly what ``query`` did.
+The round records come straight from the ``"round"`` span attributes the
+engine itself emits (see ``C2LSH._annotate_round``), so the telemetry
+stream is the single source of truth: what EXPLAIN shows is literally
+what ``query`` did, not a re-implementation of the search loop.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..eval.reporting import Table
+from ..obs import tracing
 from ..validation import as_query_vector
 
 __all__ = ["RoundTrace", "QueryExplanation", "explain"]
@@ -77,6 +81,12 @@ class QueryExplanation:
 def explain(index, query, k=1):
     """Trace one C2LSH query round by round.
 
+    Runs the real :meth:`~repro.core.c2lsh.C2LSH.query` under a local
+    telemetry trace and decodes the emitted ``"round"`` spans into
+    :class:`RoundTrace` records, so the explanation is guaranteed to match
+    what the engine actually executed (same counter, same verification,
+    same termination decision).
+
     Parameters
     ----------
     index:
@@ -98,66 +108,26 @@ def explain(index, query, k=1):
     params = index.params
     n = index._data.shape[0]
     target = min(n, k + params.false_positive_budget)
-    pm = index._pm
 
-    counter = index._counter.start_query(
-        index._funcs.hash(index._hash_view(query)),
-        incremental=index._incremental,
-    )
-    is_candidate = np.zeros(n, dtype=bool)
-    cand_ids, cand_dists = [], []
-    n_candidates = 0
-    rounds = []
-    terminated = "exhausted"
+    with tracing() as tr:
+        result = index.query(query, k=k)
 
-    radius = 1
-    for _ in range(64):
-        before = pm.snapshot() if pm is not None else None
-        touched = counter.expand(radius)
-        fresh = counter.newly_frequent(params.l)
-        fresh = fresh[~is_candidate[fresh]]
-        if fresh.size:
-            dists = index._verify(fresh, query)
-            is_candidate[fresh] = True
-            cand_ids.append(fresh)
-            cand_dists.append(dists)
-            n_candidates += fresh.size
-
-        threshold = params.c * radius * index._scale
-        within = sum(int(np.count_nonzero(d <= threshold))
-                     for d in cand_dists)
-        best = min((float(d.min()) for d in cand_dists if d.size),
-                   default=float("inf"))
-        rounds.append(RoundTrace(
-            radius=radius,
-            scanned_entries=int(touched.size),
-            new_candidates=int(fresh.size),
-            total_candidates=n_candidates,
-            best_distance=best,
-            t1_threshold=threshold,
-            within_t1=within,
-            io_reads=pm.since(before).reads if pm is not None else 0,
-        ))
-
-        if n_candidates >= target:
-            terminated = "T2"
-            break
-        if index._use_t1 and n_candidates >= k and within >= k:
-            terminated = "T1"
-            break
-        if counter.exhausted:
-            terminated = "exhausted"
-            break
-        radius *= params.c
-
-    if n_candidates < k:
-        terminated = "fallback"
-
-    from .results import QueryResult
-    ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
-    dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
-    result = QueryResult.from_candidates(ids, dists, k)
+    rounds = [
+        RoundTrace(
+            radius=ev.attrs["radius"],
+            scanned_entries=ev.attrs["scanned"],
+            new_candidates=ev.attrs["new_candidates"],
+            total_candidates=ev.attrs["total_candidates"],
+            best_distance=ev.attrs["best_distance"],
+            t1_threshold=ev.attrs["t1_threshold"],
+            within_t1=ev.attrs["within_t1"],
+            io_reads=ev.attrs["io_reads"],
+        )
+        for ev in tr.events
+        if getattr(ev, "name", None) == "round"
+    ]
     return QueryExplanation(
-        rounds=rounds, terminated_by=terminated, k=k, target=target,
-        result_ids=result.ids, result_distances=result.distances,
+        rounds=rounds, terminated_by=result.stats.terminated_by, k=k,
+        target=target, result_ids=result.ids,
+        result_distances=result.distances,
     )

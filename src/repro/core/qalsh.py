@@ -21,11 +21,13 @@ model.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 from scipy.special import ndtr
 
 from ..hashing.pstable import PStableFamily
+from ..obs import trace
 from ..storage.hashfile import ENTRY_BYTES
 from ..storage.vsearch import row_searchsorted
 from ..validation import as_data_matrix, as_query_vector
@@ -130,7 +132,8 @@ class QALSH:
             self._object_pages = max(1, self._pm.pages_for(1, dim * 8))
             self._pm.charge_write(
                 self.m * self._pm.pages_for(n, ENTRY_BYTES)
-                + self._pm.pages_for(n, dim * 8)
+                + self._pm.pages_for(n, dim * 8),
+                site="build",
             )
         return self
 
@@ -156,63 +159,75 @@ class QALSH:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        started = time.perf_counter()
+        with trace.span("query", k=int(k), index="qalsh") as qspan:
+            return self._traced_query(query, k, started, qspan)
+
+    def _traced_query(self, query, k, started, qspan):
+        """Body of :meth:`query`, run inside its ``"query"`` span."""
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
-        centers = self._funcs.project(query / self._scale)  # (m,)
+        with trace.span("hash"):
+            centers = self._funcs.project(query / self._scale)  # (m,)
         target = min(n, k + self.false_positive_budget)
         snapshot = self._pm.snapshot() if self._pm is not None else None
 
         counts = np.zeros(n, dtype=np.int32)
         lo = np.zeros(self.m, dtype=np.int64)
         hi = np.zeros(self.m, dtype=np.int64)
-        started = False
         is_candidate = np.zeros(n, dtype=bool)
         cand_ids, cand_dists = [], []
         n_candidates = 0
         stats = QueryStats()
 
         radius = 1.0
+        opened = False
         while True:
-            half = self.w * radius / 2.0
-            lo_new = row_searchsorted(self._sorted_proj, centers - half,
-                                      side="left")
-            hi_new = row_searchsorted(self._sorted_proj, centers + half,
-                                      side="right")
-            segments = []
-            if started:
-                for j in np.flatnonzero((lo_new < lo) | (hi < hi_new)):
-                    if lo_new[j] < lo[j]:
-                        segments.append((j, int(lo_new[j]), int(lo[j])))
-                    if hi[j] < hi_new[j]:
-                        segments.append((j, int(hi[j]), int(hi_new[j])))
-            else:
-                segments = [(j, int(lo_new[j]), int(hi_new[j]))
-                            for j in range(self.m)]
-            touched = [self._order[j, a:b] for j, a, b in segments if b > a]
-            if self._pm is not None and touched:
-                self._pm.charge_bucket_scans(
-                    [b - a for _, a, b in segments if b > a], ENTRY_BYTES
-                )
-            lo, hi = lo_new, hi_new
-            started = True
-            stats.rounds += 1
-            stats.final_radius = int(radius)
+            with trace.span("count_round", radius=int(radius)):
+                half = self.w * radius / 2.0
+                lo_new = row_searchsorted(self._sorted_proj, centers - half,
+                                          side="left")
+                hi_new = row_searchsorted(self._sorted_proj, centers + half,
+                                          side="right")
+                segments = []
+                if opened:
+                    for j in np.flatnonzero((lo_new < lo) | (hi < hi_new)):
+                        if lo_new[j] < lo[j]:
+                            segments.append((j, int(lo_new[j]), int(lo[j])))
+                        if hi[j] < hi_new[j]:
+                            segments.append((j, int(hi[j]), int(hi_new[j])))
+                else:
+                    segments = [(j, int(lo_new[j]), int(hi_new[j]))
+                                for j in range(self.m)]
+                touched = [self._order[j, a:b]
+                           for j, a, b in segments if b > a]
+                if self._pm is not None and touched:
+                    self._pm.charge_bucket_scans(
+                        [b - a for _, a, b in segments if b > a], ENTRY_BYTES
+                    )
+                lo, hi = lo_new, hi_new
+                opened = True
+                stats.rounds += 1
+                stats.final_radius = int(radius)
 
-            if touched:
-                touched = np.concatenate(touched)
-                stats.scanned_entries += int(touched.size)
-                delta = np.bincount(touched, minlength=n).astype(np.int32)
-                counts += delta
-                fresh = np.flatnonzero(
-                    (counts >= self.l) & (counts - delta < self.l)
-                )
-                fresh = fresh[~is_candidate[fresh]]
-                if fresh.size:
+                fresh = np.empty(0, dtype=np.int64)
+                if touched:
+                    touched = np.concatenate(touched)
+                    stats.scanned_entries += int(touched.size)
+                    delta = np.bincount(touched,
+                                        minlength=n).astype(np.int32)
+                    counts += delta
+                    fresh = np.flatnonzero(
+                        (counts >= self.l) & (counts - delta < self.l)
+                    )
+                    fresh = fresh[~is_candidate[fresh]]
+            if fresh.size:
+                with trace.span("verify", count=int(fresh.size)):
                     dists = self._verify(fresh, query)
-                    is_candidate[fresh] = True
-                    cand_ids.append(fresh)
-                    cand_dists.append(dists)
-                    n_candidates += fresh.size
+                is_candidate[fresh] = True
+                cand_ids.append(fresh)
+                cand_dists.append(dists)
+                n_candidates += fresh.size
 
             if n_candidates >= target:
                 stats.terminated_by = "T2"
@@ -240,7 +255,9 @@ class QALSH:
                            remaining.size)
                 extra = remaining[order[:need]]
                 cand_ids.append(extra)
-                cand_dists.append(self._verify(extra, query))
+                with trace.span("verify", count=int(extra.size),
+                                fallback=True):
+                    cand_dists.append(self._verify(extra, query))
                 n_candidates += extra.size
                 stats.terminated_by = "fallback"
 
@@ -249,6 +266,13 @@ class QALSH:
             delta_io = self._pm.since(snapshot)
             stats.io_reads = delta_io.reads
             stats.io_writes = delta_io.writes
+        stats.elapsed_s = time.perf_counter() - started
+        qspan.set(rounds=stats.rounds, final_radius=stats.final_radius,
+                  candidates=stats.candidates,
+                  scanned_entries=stats.scanned_entries,
+                  io_reads=stats.io_reads, io_writes=stats.io_writes,
+                  terminated_by=stats.terminated_by,
+                  elapsed_s=stats.elapsed_s)
 
         ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
         dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
@@ -263,7 +287,8 @@ class QALSH:
 
     def _verify(self, ids, query):
         if self._pm is not None:
-            self._pm.charge_read(self._object_pages * ids.size)
+            self._pm.charge_read(self._object_pages * ids.size,
+                                 site="data_read")
         diff = self._data[ids] - query
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 

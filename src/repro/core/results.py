@@ -28,6 +28,12 @@ class QueryStats:
     terminated_by:
         Which rule stopped the search: ``"T1"``, ``"T2"``, ``"exhausted"``
         or an index-specific label.
+    elapsed_s:
+        Wall-clock seconds from the query entering the engine until its
+        result was final. The sequential path times each call; the batch
+        engine stamps each query when it terminates, so the value is the
+        query's observed latency inside its batch (not a per-query share
+        of the batch total).
     """
 
     rounds: int = 0
@@ -37,6 +43,7 @@ class QueryStats:
     io_reads: int = 0
     io_writes: int = 0
     terminated_by: str = ""
+    elapsed_s: float = 0.0
 
 
 @dataclass

@@ -17,6 +17,7 @@ or individual experiments::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -28,6 +29,7 @@ from ..core import C2LSH, QALSH, design_params
 from ..data import exact_knn, gaussian_clusters, load_profile, split_queries
 from ..data.profiles import PROFILES, Dataset
 from ..hashing import PStableFamily
+from ..obs import SnapshotSink, trace, tracing
 from ..storage import DEFAULT_PAGE_SIZE, PageManager
 from .reporting import Table
 from .sweep import timed_build, timed_queries
@@ -81,6 +83,26 @@ def _save(args, table, stem):
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
         table.save_csv(os.path.join(args.out_dir, f"{stem}.csv"))
+        _save_metrics(args, stem)
+
+
+def _save_metrics(args, stem):
+    """Write the active trace's metrics snapshot next to the CSV.
+
+    ``main`` runs each experiment under a :class:`SnapshotSink` when
+    ``--out-dir`` is given, so the phase/I-O aggregates of everything the
+    experiment executed land in ``{stem}_metrics.json`` alongside
+    ``{stem}.csv``.
+    """
+    tr = trace.current()
+    if tr is None:
+        return
+    for sink in tr.sinks:
+        if isinstance(sink, SnapshotSink):
+            path = os.path.join(args.out_dir, f"{stem}_metrics.json")
+            with open(path, "w") as fh:
+                json.dump(sink.snapshot(), fh, indent=2, sort_keys=True)
+            return
 
 
 def _ground_truth(dataset, max_k):
@@ -602,15 +624,23 @@ def build_parser():
     return parser
 
 
+def _run_experiment(name, args):
+    """Run one experiment, traced into a fresh sink when saving output."""
+    if args.out_dir:
+        with tracing(SnapshotSink(), keep_events=False):
+            return EXPERIMENTS[name](args)
+    return EXPERIMENTS[name](args)
+
+
 def main(argv=None):
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
         for name in EXPERIMENTS:
             print(f"== {name} ==")
-            EXPERIMENTS[name](args)
+            _run_experiment(name, args)
     else:
-        EXPERIMENTS[args.experiment](args)
+        _run_experiment(args.experiment, args)
     return 0
 
 

@@ -1,0 +1,65 @@
+"""Telemetry: phase-level tracing, a metrics registry, exportable sinks.
+
+C2LSH's value proposition is measured in work performed — page reads,
+candidate counts, radius-expansion rounds — so this package gives every
+query path a built-in profiler instead of one-off timing code:
+
+* :mod:`repro.obs.trace` — lightweight span tracing
+  (``trace.span("count_round", radius=R)``) with a context-var current
+  trace. Disabled by default: instrumented hot paths pay one
+  context-variable read and nothing else.
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` of counters,
+  gauges and bucketed histograms (p50/p95/p99).
+* :mod:`repro.obs.sinks` — an in-process :class:`SnapshotSink`, a
+  :class:`JsonlSink` event log (reloadable with :func:`load_jsonl` /
+  :func:`replay`), and Prometheus text exposition
+  (:func:`render_prometheus`).
+
+Typical session::
+
+    from repro.obs import JsonlSink, SnapshotSink, tracing
+
+    snap = SnapshotSink()
+    with tracing(snap, JsonlSink("events.jsonl")):
+        index.query(q, k=10)
+    snap.phase_totals()     # {"query": ..., "count_round": ..., ...}
+
+``python -m repro.obs events.jsonl`` summarizes a written event log into
+a phase-breakdown table.
+"""
+
+from . import trace
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .sinks import (
+    JsonlSink,
+    SnapshotSink,
+    load_jsonl,
+    render_prometheus,
+    replay,
+)
+from .trace import IOEvent, Span, SpanEvent, Trace, tracing
+
+__all__ = [
+    "trace",
+    "tracing",
+    "Trace",
+    "Span",
+    "SpanEvent",
+    "IOEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SnapshotSink",
+    "JsonlSink",
+    "load_jsonl",
+    "replay",
+    "render_prometheus",
+]

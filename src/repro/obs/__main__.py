@@ -1,0 +1,106 @@
+"""CLI: summarize a JSONL trace event log into a phase breakdown.
+
+::
+
+    python -m repro.obs events.jsonl            # phase + I/O tables
+    python -m repro.obs events.jsonl --json     # aggregates as JSON
+
+The input is the file a :class:`repro.obs.JsonlSink` wrote during a
+traced run. Span durations are grouped by span name into count / total /
+mean / p50 / p95 / p99 columns; I/O events are grouped by kind and
+charging site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .sinks import SnapshotSink, load_jsonl, replay
+from .trace import IOEvent, SpanEvent
+
+
+def summarize(events):
+    """Aggregate events; returns ``(snapshot_sink, wall_s)``.
+
+    ``wall_s`` is the total duration of root spans (spans with no
+    parent) — the traced run's accounted wall time.
+    """
+    sink, = replay(events, SnapshotSink())
+    wall = sum(e.duration_s for e in events
+               if isinstance(e, SpanEvent) and e.parent_id is None)
+    return sink, wall
+
+
+def _phase_rows(sink, wall):
+    registry = sink.registry
+    rows = []
+    for name, total in sorted(sink.phase_totals().items(),
+                              key=lambda kv: -kv[1]):
+        hist = registry.histogram(f"span.{name}.seconds")
+        share = f"{100.0 * total / wall:.1f}%" if wall > 0 else "-"
+        rows.append([
+            name, hist.count, f"{total:.6f}", share,
+            f"{hist.mean * 1e3:.3f}",
+            f"{hist.percentile(0.50) * 1e3:.3f}",
+            f"{hist.percentile(0.95) * 1e3:.3f}",
+            f"{hist.percentile(0.99) * 1e3:.3f}",
+        ])
+    return rows
+
+
+def _io_rows(events):
+    totals = {}
+    for e in events:
+        if isinstance(e, IOEvent):
+            key = (e.kind, e.site)
+            totals[key] = totals.get(key, 0) + e.pages
+    return [[kind, site, pages]
+            for (kind, site), pages in sorted(totals.items())]
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize a traced query's JSONL event log.",
+    )
+    parser.add_argument("events", help="path to a JsonlSink event log")
+    parser.add_argument("--json", action="store_true",
+                        help="print the aggregate snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    events = load_jsonl(args.events)
+    sink, wall = summarize(events)
+
+    if args.json:
+        snapshot = sink.snapshot()
+        snapshot["accounted_wall_s"] = wall
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+
+    from ..eval.reporting import Table
+
+    table = Table(
+        ["phase", "spans", "total_s", "share", "mean_ms", "p50_ms",
+         "p95_ms", "p99_ms"],
+        title=f"Phase breakdown ({len(events)} events, "
+              f"root wall {wall:.6f}s)",
+    )
+    for row in _phase_rows(sink, wall):
+        table.add(*row)
+    table.print()
+
+    io_rows = _io_rows(events)
+    if io_rows:
+        io_table = Table(["kind", "site", "pages"], title="Page I/O")
+        for row in io_rows:
+            io_table.add(*row)
+        print()
+        io_table.print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

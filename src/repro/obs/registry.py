@@ -1,0 +1,197 @@
+"""Metrics primitives: counters, gauges, bucketed histograms, a registry.
+
+The registry is deliberately small — the three metric types that cover
+this repository's needs (work counters, level gauges, latency/size
+distributions with percentile estimates) behind get-or-create accessors::
+
+    reg = MetricsRegistry()
+    reg.counter("io.read.pages").inc(12)
+    reg.histogram("query.seconds").observe(0.0042)
+    reg.snapshot()["query.seconds"]["p99"]
+
+Histograms are fixed-bucket (Prometheus-style): observations are counted
+into geometric buckets and percentiles are interpolated from the bucket
+counts, so memory stays O(buckets) however many values are observed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS"]
+
+
+def _geometric_buckets(lo, hi, per_decade=3):
+    """Upper bucket bounds from ``lo`` to ``hi``, log-spaced."""
+    decades = math.log10(hi / lo)
+    steps = int(round(decades * per_decade))
+    return tuple(lo * 10 ** (i / per_decade) for i in range(steps + 1))
+
+
+#: Default histogram bounds: 1 microsecond to 1000 seconds, 3 per decade.
+DEFAULT_LATENCY_BUCKETS = _geometric_buckets(1e-6, 1e3)
+
+
+class Counter:
+    """A monotonically increasing value (counts, totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (must be non-negative); returns the new value."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (sizes, temperatures, depths)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value):
+        """Replace the current value; returns it."""
+        self.value = value
+        return self.value
+
+    def inc(self, amount=1):
+        """Add ``amount`` (may be negative); returns the new value."""
+        self.value += amount
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentiles.
+
+    ``buckets`` is an ascending tuple of upper bounds; an implicit
+    overflow bucket catches everything beyond the last bound. Suited to
+    latencies and sizes where a few percent of relative error is fine and
+    constant memory matters.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "_min",
+                 "_max")
+
+    def __init__(self, name, buckets=None):
+        self.name = name
+        self.buckets = tuple(
+            float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS)
+        )
+        if list(self.buckets) != sorted(self.buckets) or not self.buckets:
+            raise ValueError("bucket bounds must be non-empty and ascending")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value):
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self):
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """Estimated ``q``-quantile (``q`` in [0, 1]) by interpolation.
+
+        Linear within the containing bucket; clamped to the observed
+        min/max so estimates never leave the data's range. Returns 0.0
+        for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= rank:
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i] if i < len(self.buckets) else self._max
+                frac = (rank - cumulative) / bucket_count if bucket_count \
+                    else 0.0
+                value = lo + frac * (hi - lo)
+                return min(max(value, self._min), self._max)
+            cumulative += bucket_count
+        return self._max
+
+    def snapshot(self):
+        """Summary dict: count, sum, mean, min/max, p50/p95/p99."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self._min if self.count else 0.0,
+            "max": self._max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and a snapshot API."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name):
+        """The :class:`Counter` called ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        """The :class:`Gauge` called ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name, buckets=None):
+        """The :class:`Histogram` called ``name``, created on first use."""
+        return self._get(name, Histogram, buckets)
+
+    def __iter__(self):
+        """Iterate ``(name, metric)`` pairs in creation order."""
+        return iter(self._metrics.items())
+
+    def __len__(self):
+        """Number of registered metrics."""
+        return len(self._metrics)
+
+    def snapshot(self):
+        """All metrics as one JSON-serializable dict."""
+        out = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out

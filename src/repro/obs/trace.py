@@ -1,0 +1,280 @@
+"""Lightweight span tracing with a context-var current trace.
+
+A *trace* is an account of where one unit of work — typically a query —
+spent its time and I/O. Engine code marks its phases with spans::
+
+    from repro.obs import trace
+
+    with trace.span("count_round", radius=R) as sp:
+        ...                       # timed region
+        sp.set(scanned=touched)   # attach attributes any time before close
+
+and the storage layer reports page charges as point events
+(:func:`io_event`). When no trace is active — the default — every call
+degrades to a shared no-op object, so instrumented hot paths cost one
+context-variable read and nothing else. Activating collection is the
+caller's choice::
+
+    from repro.obs import JsonlSink, SnapshotSink, tracing
+
+    with tracing(SnapshotSink(), JsonlSink("events.jsonl")) as tr:
+        index.query(q, k=10)
+    tr.events     # every closed span / I/O event, in completion order
+
+The current trace lives in a :class:`contextvars.ContextVar`, so traces
+nest correctly (the innermost wins and is restored on exit) and never leak
+across threads or async tasks.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanEvent",
+    "IOEvent",
+    "Span",
+    "Trace",
+    "tracing",
+    "current",
+    "active",
+    "span",
+    "event",
+    "io_event",
+    "NULL_SPAN",
+]
+
+#: The active :class:`Trace` of the current context (``None`` = disabled).
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+@dataclass
+class SpanEvent:
+    """A closed span: one named, timed phase with free-form attributes.
+
+    ``start_s`` is a :func:`time.perf_counter` timestamp — meaningful only
+    relative to other events of the same process. ``parent_id`` links the
+    span tree (``None`` for roots); ``duration_s`` is 0.0 for point events
+    emitted via :meth:`Trace.event`.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    span_id: int
+    parent_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class IOEvent:
+    """A page-I/O charge, attributed to the span open when it occurred.
+
+    ``kind`` is ``"read"`` or ``"write"``; ``site`` names the charging
+    call site (``"bucket_scan"``, ``"data_read"``, ``"build"``, ...).
+    """
+
+    kind: str
+    pages: int
+    site: str
+    span_id: int | None = None
+
+
+class Span:
+    """An open span; a context manager that times its ``with`` block.
+
+    Attributes attached via :meth:`set` before the block closes are
+    shipped to the trace's sinks with the closing :class:`SpanEvent`.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_trace",
+                 "_start")
+
+    def __init__(self, trace, name, attrs):
+        self.name = name
+        self.attrs = attrs
+        self._trace = trace
+        self.span_id = trace._next_id()
+        self.parent_id = None
+        self._start = 0.0
+
+    def set(self, **attrs):
+        """Merge ``attrs`` into the span's attributes; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        """Start the clock and push the span onto the trace's stack."""
+        self.parent_id = self._trace._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        """Stop the clock, pop the span, and emit its event."""
+        duration = time.perf_counter() - self._start
+        self._trace._pop(self, duration)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when no trace is active."""
+
+    __slots__ = ()
+
+    def set(self, **attrs):
+        """Ignore the attributes; returns self."""
+        return self
+
+    def __enter__(self):
+        """No-op; returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        """No-op; never suppresses exceptions."""
+        return False
+
+
+#: The singleton no-op span (also handy as an explicit "untraced" default).
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """Collects span and I/O events and forwards them to sinks.
+
+    Sinks are objects with ``on_span(SpanEvent)`` and ``on_io(IOEvent)``
+    methods (plus an optional ``finish()``); see :mod:`repro.obs.sinks`.
+    With ``keep_events=True`` (default) every event is also appended to
+    :attr:`events` for in-process consumers like
+    :func:`repro.core.explain.explain`; long-running jobs that only need
+    aggregates should pass ``keep_events=False``.
+    """
+
+    def __init__(self, *sinks, keep_events=True):
+        self.sinks = list(sinks)
+        self.events = []
+        self._keep = bool(keep_events)
+        self._stack = []
+        self._count = 0
+
+    def _next_id(self):
+        self._count += 1
+        return self._count
+
+    def _push(self, span):
+        parent = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+        return parent
+
+    def _pop(self, span, duration):
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        event = SpanEvent(
+            name=span.name, start_s=span._start, duration_s=duration,
+            span_id=span.span_id, parent_id=span.parent_id,
+            attrs=span.attrs,
+        )
+        if self._keep:
+            self.events.append(event)
+        for sink in self.sinks:
+            sink.on_span(event)
+
+    def span(self, name, **attrs):
+        """An open :class:`Span` ready to be used as a context manager."""
+        return Span(self, name, attrs)
+
+    def event(self, name, **attrs):
+        """Emit a zero-duration point event (e.g. per-query summaries)."""
+        ev = SpanEvent(
+            name=name, start_s=time.perf_counter(), duration_s=0.0,
+            span_id=self._next_id(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            attrs=attrs,
+        )
+        if self._keep:
+            self.events.append(ev)
+        for sink in self.sinks:
+            sink.on_span(ev)
+        return ev
+
+    def record_io(self, kind, pages, site):
+        """Record one page-I/O charge against the currently open span."""
+        ev = IOEvent(
+            kind=kind, pages=int(pages), site=site,
+            span_id=self._stack[-1].span_id if self._stack else None,
+        )
+        if self._keep:
+            self.events.append(ev)
+        for sink in self.sinks:
+            sink.on_io(ev)
+        return ev
+
+    def finish(self):
+        """Flush and close every sink that supports it."""
+        for sink in self.sinks:
+            close = getattr(sink, "finish", None)
+            if close is not None:
+                close()
+
+
+class tracing:
+    """Context manager that activates a :class:`Trace` for its block.
+
+    ::
+
+        with tracing(SnapshotSink()) as tr:
+            index.query(q, k=10)
+
+    Nested uses shadow the outer trace and restore it on exit. Sinks are
+    finished (flushed/closed) when the block exits.
+    """
+
+    def __init__(self, *sinks, keep_events=True):
+        self.trace = Trace(*sinks, keep_events=keep_events)
+        self._token = None
+
+    def __enter__(self):
+        """Install the trace as the context's current trace."""
+        self._token = _CURRENT.set(self.trace)
+        return self.trace
+
+    def __exit__(self, exc_type, exc, tb):
+        """Restore the previous trace and finish the sinks."""
+        _CURRENT.reset(self._token)
+        self.trace.finish()
+        return False
+
+
+def current():
+    """The active :class:`Trace` of this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def active():
+    """Whether a trace is currently collecting in this context."""
+    return _CURRENT.get() is not None
+
+
+def span(name, **attrs):
+    """A span on the current trace, or the shared no-op when disabled."""
+    trace = _CURRENT.get()
+    if trace is None:
+        return NULL_SPAN
+    return trace.span(name, **attrs)
+
+
+def event(name, **attrs):
+    """Emit a point event on the current trace (no-op when disabled)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.event(name, **attrs)
+
+
+def io_event(kind, pages, site):
+    """Report a page-I/O charge to the current trace (no-op when disabled)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.record_io(kind, pages, site)

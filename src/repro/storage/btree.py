@@ -81,7 +81,7 @@ class BPlusTree:
 
         self.root, self.height = self._build_inner_levels()
         if self._pm is not None:
-            self._pm.charge_write(self.node_count())
+            self._pm.charge_write(self.node_count(), site="build")
 
     def _build_inner_levels(self):
         level = list(self.leaves)
@@ -155,14 +155,14 @@ class BPlusTree:
         node = self.root
         while isinstance(node, _Inner):
             if self._pm is not None:
-                self._pm.charge_read(1)
+                self._pm.charge_read(1, site="btree_descend")
             # bisect_left keeps lower-bound semantics when duplicates span
             # children: on an exact separator match the first occurrence may
             # live at the end of the left subtree.
             child_idx = bisect.bisect_left(node.separators, key)
             node = node.children[child_idx]
         if self._pm is not None:
-            self._pm.charge_read(1)
+            self._pm.charge_read(1, site="btree_descend")
         slot = bisect.bisect_left(node.keys, key)
         # If the key exceeds everything in this leaf, leaf_start + len(keys)
         # is exactly the next leaf's start, so the global rank stays correct.
@@ -222,7 +222,7 @@ class LeafCursor:
         if leaf.index not in self._charged_leaves:
             self._charged_leaves.add(leaf.index)
             if self._tree._pm is not None:
-                self._tree._pm.charge_read(1)
+                self._tree._pm.charge_read(1, site="btree_leaf")
         return leaf.keys[slot], leaf.values[slot]
 
     def advance(self, step):

@@ -60,7 +60,7 @@ class DataFile:
             self._object_pages = max(
                 1, page_manager.pages_for(1, self.entry_bytes))
             page_manager.charge_write(page_manager.pages_for(
-                n, self.entry_bytes))
+                n, self.entry_bytes), site="build")
         else:
             self._epp = 1
             self._object_pages = 1
@@ -104,20 +104,23 @@ class DataFile:
         ids = np.asarray(ids, dtype=np.int64)
         if self._pm is not None and ids.size:
             if self.layout == "scattered":
-                self._pm.charge_read(self._object_pages * ids.size)
+                self._pm.charge_read(self._object_pages * ids.size,
+                                     site="data_read")
             else:
                 slots = ids if self._position is None \
                     else self._position[ids]
                 distinct = np.unique(slots // self._epp).size
                 self._pm.charge_read(
-                    max(distinct, distinct * self._object_pages))
+                    max(distinct, distinct * self._object_pages),
+                    site="data_read")
         return self.data[ids]
 
     def sequential_scan(self):
         """The whole matrix, charged as one sequential sweep."""
         if self._pm is not None:
             self._pm.charge_sequential_read(self.data.shape[0],
-                                            self.entry_bytes)
+                                            self.entry_bytes,
+                                            site="data_scan")
         return self.data
 
     def __repr__(self):

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as _trace
+
 __all__ = ["IOStats", "PageManager", "DEFAULT_PAGE_SIZE"]
 
 DEFAULT_PAGE_SIZE = 4096
@@ -73,22 +75,33 @@ class PageManager:
             return 0
         return math.ceil(n_entries / self.entries_per_page(entry_bytes))
 
-    def charge_read(self, pages=1):
-        """Record page reads."""
+    def charge_read(self, pages=1, site=None):
+        """Record page reads; ``site`` names the charging call site.
+
+        When a :mod:`repro.obs` trace is active, the charge is also
+        reported as an I/O event attributed to ``site`` (default
+        ``"unattributed"``) and to the currently open span.
+        """
         if pages < 0:
             raise ValueError("cannot charge a negative number of page reads")
         self.stats.reads += int(pages)
+        trace = _trace.current()
+        if trace is not None:
+            trace.record_io("read", int(pages), site or "unattributed")
 
-    def charge_write(self, pages=1):
-        """Record page writes."""
+    def charge_write(self, pages=1, site=None):
+        """Record page writes; ``site`` names the charging call site."""
         if pages < 0:
             raise ValueError("cannot charge a negative number of page writes")
         self.stats.writes += int(pages)
+        trace = _trace.current()
+        if trace is not None:
+            trace.record_io("write", int(pages), site or "unattributed")
 
-    def charge_sequential_read(self, n_entries, entry_bytes):
+    def charge_sequential_read(self, n_entries, entry_bytes, site=None):
         """Charge a sequential scan of ``n_entries`` entries; returns pages."""
         pages = self.pages_for(n_entries, entry_bytes)
-        self.charge_read(pages)
+        self.charge_read(pages, site=site)
         return pages
 
     def bucket_scan_pages(self, entry_counts, entry_bytes):
@@ -108,13 +121,14 @@ class PageManager:
         epp = self.entries_per_page(entry_bytes)
         return np.maximum(1, -(-counts // epp)) * (counts > 0)
 
-    def charge_bucket_scans(self, entry_counts, entry_bytes):
+    def charge_bucket_scans(self, entry_counts, entry_bytes,
+                            site="bucket_scan"):
         """Charge one bucket-range scan per count; returns total pages.
 
         See :meth:`bucket_scan_pages` for the per-scan cost formula.
         """
         pages = int(self.bucket_scan_pages(entry_counts, entry_bytes).sum())
-        self.charge_read(pages)
+        self.charge_read(pages, site=site)
         return pages
 
     def snapshot(self):

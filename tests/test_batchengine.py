@@ -43,6 +43,10 @@ def assert_equivalent(seq_results, batch_results):
         for field in STAT_FIELDS:
             assert getattr(s.stats, field) == getattr(b.stats, field), \
                 f"query {i}: stats.{field} differs"
+        # elapsed_s parity: both paths measure wall time, so the values
+        # cannot be equal — but both must be populated and positive.
+        assert s.stats.elapsed_s > 0.0, f"query {i}: sequential elapsed_s"
+        assert b.stats.elapsed_s > 0.0, f"query {i}: batch elapsed_s"
 
 
 class TestWithinRadiusTally:

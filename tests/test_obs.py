@@ -1,0 +1,320 @@
+"""Telemetry subsystem: registry, span tracing, sinks, and the CLI.
+
+Three layers of coverage:
+
+* unit — counters/gauges/histograms, span nesting and the disabled-path
+  no-ops;
+* integration — traced C2LSH queries must account for the wall time they
+  spend, and the I/O totals in the event stream must agree *exactly* with
+  the ``QueryStats`` the engine returns;
+* round-trip — a JSONL event log reloaded and replayed must reproduce the
+  live snapshot bit-for-bit, the Prometheus exposition must parse line by
+  line, and ``python -m repro.obs`` must summarize a real log.
+"""
+
+import json
+import re
+import time
+
+import pytest
+
+from repro import C2LSH, PageManager
+from repro.eval import harness
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    IOEvent,
+    JsonlSink,
+    MetricsRegistry,
+    SnapshotSink,
+    SpanEvent,
+    load_jsonl,
+    render_prometheus,
+    replay,
+    trace,
+    tracing,
+)
+from repro.obs.__main__ import main as obs_main
+
+
+@pytest.fixture()
+def fitted(tiny):
+    """A fitted paged index (so queries charge real I/O) plus queries."""
+    data, queries = tiny
+    index = C2LSH(seed=0, page_manager=PageManager()).fit(data)
+    return index, queries
+
+
+class TestRegistry:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("hits") is counter  # get-or-create
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("bad").inc(-1)
+
+    def test_gauge(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_percentiles(self):
+        hist = Histogram("latency")
+        values = [i / 1000.0 for i in range(1, 101)]  # 1ms .. 100ms
+        for v in values:
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["min"] == pytest.approx(0.001)
+        assert snap["max"] == pytest.approx(0.100)
+        assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"] \
+            <= snap["max"]
+
+    def test_histogram_empty(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_iteration_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2.5)
+        registry.histogram("c").observe(0.1)
+        assert len(registry) == 3
+        assert {name for name, _ in registry} == {"a", "b", "c"}
+        snap = registry.snapshot()
+        assert snap["a"] == 1
+        assert snap["b"] == 2.5
+        assert snap["c"]["count"] == 1
+
+
+class TestTrace:
+    def test_disabled_path_is_noop(self):
+        assert not trace.active()
+        sp = trace.span("anything", radius=4)
+        assert sp is trace.NULL_SPAN
+        assert sp.set(more=1) is sp
+        with sp:
+            pass
+        # Point and I/O events silently vanish when no trace is active.
+        trace.event("query_stats", io_reads=3)
+        trace.io_event("read", 7, "bucket_scan")
+
+    def test_nesting_parent_ids(self):
+        with tracing() as tr:
+            with trace.span("outer") as outer:
+                with trace.span("inner", radius=2) as inner:
+                    inner.set(scanned=9)
+        events = {e.name: e for e in tr.events}
+        assert events["inner"].parent_id == outer.span_id
+        assert events["outer"].parent_id is None
+        assert events["inner"].attrs == {"radius": 2, "scanned": 9}
+        # Children close (and are emitted) before their parents.
+        assert tr.events[0].name == "inner"
+
+    def test_point_event_and_io_attribution(self):
+        with tracing() as tr:
+            with trace.span("round") as sp:
+                trace.io_event("read", 3, "bucket_scan")
+                trace.event("marker", value=1)
+        io = [e for e in tr.events if isinstance(e, IOEvent)]
+        assert io == [IOEvent(kind="read", pages=3, site="bucket_scan",
+                              span_id=sp.span_id)]
+        marker = next(e for e in tr.events
+                      if isinstance(e, SpanEvent) and e.name == "marker")
+        assert marker.duration_s == 0.0
+        assert marker.parent_id == sp.span_id
+
+    def test_nested_tracing_shadows_and_restores(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                with trace.span("work"):
+                    pass
+            assert trace.current() is outer
+        assert not trace.active()
+        assert [e.name for e in inner.events] == ["work"]
+        assert outer.events == []
+
+    def test_keep_events_false(self):
+        sink = SnapshotSink()
+        with tracing(sink, keep_events=False) as tr:
+            with trace.span("work"):
+                pass
+        assert tr.events == []
+        assert sink.registry.counter("span.work.count").value == 1
+
+
+class TestQueryIntegration:
+    def test_span_tree_accounts_for_wall_time(self, fitted):
+        """Root spans must cover >= 90% of the traced query's wall time."""
+        index, queries = fitted
+        index.query(queries[0], k=5)  # warm lazy state
+        with tracing() as tr:
+            t0 = time.perf_counter()
+            index.query(queries[0], k=5)
+            wall = time.perf_counter() - t0
+        accounted = sum(e.duration_s for e in tr.events
+                        if isinstance(e, SpanEvent) and e.parent_id is None
+                        and e.duration_s > 0.0)
+        assert accounted >= 0.9 * wall
+
+    def test_sequential_io_parity(self, fitted):
+        """The query span and the I/O event stream both match QueryStats."""
+        index, queries = fitted
+        for q in queries:
+            with tracing() as tr:
+                result = index.query(q, k=5)
+            qspan = next(e for e in tr.events
+                         if isinstance(e, SpanEvent) and e.name == "query")
+            assert qspan.attrs["io_reads"] == result.stats.io_reads
+            assert qspan.attrs["rounds"] == result.stats.rounds
+            assert qspan.attrs["terminated_by"] == \
+                result.stats.terminated_by
+            read_pages = sum(e.pages for e in tr.events
+                             if isinstance(e, IOEvent) and e.kind == "read")
+            assert read_pages == result.stats.io_reads
+
+    def test_batch_jsonl_io_parity(self, fitted, tmp_path):
+        """Per-query ``io_reads`` in the JSONL log == QueryStats, exactly."""
+        index, queries = fitted
+        path = tmp_path / "events.jsonl"
+        with tracing(JsonlSink(path)):
+            results = index.query_batch(queries, k=5)
+        events = {e.attrs["query"]: e.attrs
+                  for e in load_jsonl(path)
+                  if isinstance(e, SpanEvent) and e.name == "query_stats"}
+        assert sorted(events) == list(range(len(queries)))
+        for q, attrs in events.items():
+            stats = results[q].stats
+            assert attrs["io_reads"] == stats.io_reads
+            assert attrs["io_writes"] == stats.io_writes
+            assert attrs["rounds"] == stats.rounds
+            assert attrs["final_radius"] == stats.final_radius
+            assert attrs["candidates"] == stats.candidates
+            assert attrs["scanned_entries"] == stats.scanned_entries
+            assert attrs["terminated_by"] == stats.terminated_by
+            assert attrs["elapsed_s"] == stats.elapsed_s
+
+    def test_batch_emits_round_spans(self, fitted):
+        index, queries = fitted
+        with tracing() as tr:
+            index.query_batch(queries, k=5)
+        names = [e.name for e in tr.events if isinstance(e, SpanEvent)]
+        assert "batch_block" in names
+        assert "round" in names
+        assert "count_round" in names
+        assert "verify" in names
+
+
+class TestSinks:
+    def test_jsonl_round_trip_equals_live_snapshot(self, fitted, tmp_path):
+        index, queries = fitted
+        path = tmp_path / "events.jsonl"
+        live = SnapshotSink()
+        with tracing(live, JsonlSink(path)):
+            index.query_batch(queries, k=5)
+            index.query(queries[0], k=5)
+        replayed, = replay(load_jsonl(path), SnapshotSink())
+        assert replayed.phase_totals() == live.phase_totals()
+        assert replayed.snapshot() == live.snapshot()
+
+    def test_jsonl_sink_does_not_close_callers_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as fh:
+            with tracing(JsonlSink(fh)):
+                with trace.span("work"):
+                    pass
+            assert not fh.closed  # tracing() finished the sink
+        assert [e.name for e in load_jsonl(path)] == ["work"]
+
+    def test_snapshot_sink_phase_totals(self):
+        sink = SnapshotSink()
+        with tracing(sink):
+            with trace.span("hash"):
+                pass
+            with trace.span("hash"):
+                pass
+        totals = sink.phase_totals()
+        assert set(totals) == {"hash"}
+        assert totals["hash"] >= 0.0
+        assert sink.registry.counter("span.hash.count").value == 2
+
+    def test_prometheus_parses_line_by_line(self, fitted):
+        index, queries = fitted
+        sink = SnapshotSink()
+        with tracing(sink):
+            index.query(queries[0], k=5)
+        text = render_prometheus(sink)
+        assert text.endswith("\n")
+        name_re = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+        for line in text.strip().splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                assert name_re.fullmatch(name)
+                assert kind in {"counter", "gauge", "histogram"}
+            else:
+                metric, value = line.rsplit(" ", 1)
+                float(value)  # every sample value must be numeric
+                assert name_re.fullmatch(metric.split("{", 1)[0])
+        assert "repro_span_query_count 1" in text
+        assert "repro_io_read_bucket_scan_pages" in text
+
+    def test_prometheus_histogram_series(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for v in (0.001, 0.01, 0.1):
+            hist.observe(v)
+        text = render_prometheus(registry)
+        buckets = re.findall(r'repro_lat_bucket\{le="[^"]+"\} (\d+)', text)
+        counts = [int(b) for b in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 3
+        assert "repro_lat_count 3" in text
+
+
+class TestCli:
+    @pytest.fixture()
+    def event_log(self, fitted, tmp_path):
+        index, queries = fitted
+        path = tmp_path / "events.jsonl"
+        with tracing(JsonlSink(path)):
+            index.query(queries[0], k=5)
+        return path
+
+    def test_table_output(self, event_log, capsys):
+        assert obs_main([str(event_log)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "query" in out
+        assert "Page I/O" in out
+        assert "bucket_scan" in out
+
+    def test_json_output(self, event_log, capsys):
+        assert obs_main([str(event_log), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["accounted_wall_s"] > 0.0
+        assert snapshot["span.query.count"] == 1
+        assert any(key.startswith("io.read.") for key in snapshot)
+
+
+class TestHarnessMetrics:
+    def test_out_dir_gets_metrics_snapshot(self, tmp_path, capsys):
+        assert harness.main(["table-params",
+                             "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()  # swallow the experiment's table output
+        path = tmp_path / "t1_params_metrics.json"
+        assert path.exists()
+        assert isinstance(json.loads(path.read_text()), dict)
