@@ -10,7 +10,7 @@ extensions") — keeping them measured keeps them honest.
 import numpy as np
 import pytest
 
-from repro import C2LSH
+from repro import C2LSH, FaultInjector, QueryBudget
 from repro.core.batchengine import BatchQueryCounter
 from repro.core.counting import CollisionCounter
 from repro.obs import SnapshotSink, tracing
@@ -157,3 +157,46 @@ def test_query_traced(benchmark, fitted_index):
 
     result = benchmark(traced)
     assert result.ids.size > 0
+
+
+@pytest.fixture(scope="module")
+def accounted_index():
+    """A fitted index *with* page accounting, for the reliability pair.
+
+    The fault-injection hook lives on the page manager's charge path, so
+    the unguarded baseline needs a page manager too — otherwise the pair
+    would measure accounting cost, not guard cost.
+    """
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((5_000, 24))
+    query = rng.standard_normal(24)
+
+    plain = C2LSH(seed=0, page_manager=PageManager()).fit(data)
+    guarded_pm = PageManager(fault_injector=FaultInjector())
+    guarded = C2LSH(seed=0, page_manager=guarded_pm).fit(data)
+    plain.query(query, k=10)
+    guarded.query(query, k=10)
+    return plain, guarded, query
+
+
+def test_query_unguarded(benchmark, accounted_index):
+    """Baseline accounted-query latency without any reliability hooks.
+
+    Pairs with :func:`test_query_guarded`; the gap is the cost of the
+    no-fault fault-injector consult plus a generous (never-binding) query
+    budget, which the reliability layer promises stays within a couple of
+    percent.
+    """
+    plain, _, query = accounted_index
+    result = benchmark(lambda: plain.query(query, k=10))
+    assert result.ids.size > 0
+
+
+def test_query_guarded(benchmark, accounted_index):
+    """Accounted-query latency with an idle injector and a slack budget."""
+    _, guarded, query = accounted_index
+    budget = QueryBudget(deadline_s=3600.0, max_io_pages=10**9,
+                         max_candidates=10**9)
+    result = benchmark(lambda: guarded.query(query, k=10, budget=budget))
+    assert result.ids.size > 0
+    assert not result.stats.degraded

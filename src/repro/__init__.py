@@ -10,6 +10,7 @@ Public API highlights::
 
     from repro import C2LSH, QALSH, LinearScan, E2LSH, LSBForest
     from repro import PageManager, design_params
+    from repro import QueryBudget, FaultInjector, CorruptIndexError
     from repro.data import mnist_like, exact_knn
 """
 
@@ -27,6 +28,15 @@ from .hashing import (
     LSHFamily,
     PStableFamily,
     SignRandomProjectionFamily,
+)
+from .reliability import (
+    CorruptIndexError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    QueryBudget,
+    RetryPolicy,
+    TransientIOError,
 )
 from .storage import PageManager
 
@@ -48,5 +58,12 @@ __all__ = [
     "SignRandomProjectionFamily",
     "BitSamplingFamily",
     "PageManager",
+    "QueryBudget",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "TransientIOError",
+    "CorruptIndexError",
     "__version__",
 ]

@@ -5,7 +5,13 @@ from .c2lsh import C2LSH
 from .counting import CollisionCounter, QueryCounter
 from .explain import QueryExplanation, RoundTrace, explain
 from .params import C2LSHParams, design_params, optimal_alpha, required_m
-from .persist import load_c2lsh, load_qalsh, save_c2lsh, save_qalsh
+from .persist import (
+    CorruptIndexError,
+    load_c2lsh,
+    load_qalsh,
+    save_c2lsh,
+    save_qalsh,
+)
 from .qalsh import QALSH, qalsh_collision_probability, qalsh_optimal_w
 from .tuning import TrialResult, TuningResult, tune_c2lsh
 from .updatable import UpdatableC2LSH
@@ -27,6 +33,7 @@ __all__ = [
     "QueryStats",
     "save_c2lsh",
     "load_c2lsh",
+    "CorruptIndexError",
     "save_qalsh",
     "load_qalsh",
     "qalsh_collision_probability",

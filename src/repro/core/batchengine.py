@@ -307,7 +307,7 @@ def _verify_many(index, jobs, io_reads, pool):
 
 
 def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
-                started=None):
+                started=None, budget=None):
     """Answer ``Q`` queries in lockstep; returns a list of results.
 
     Drives a :class:`BatchQueryCounter` through the radius grid, applying
@@ -318,6 +318,13 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     caller include work done before entry — e.g. batched hashing — in the
     per-query ``elapsed_s``; each query is stamped the moment it
     terminates, not when the whole batch returns.
+
+    ``budget`` (a :class:`repro.reliability.QueryBudget`) applies to each
+    query individually: per-query attributed I/O pages and candidate
+    counts are compared against the caps after every round, exactly where
+    the sequential path checks its tracker, so a given seed and budget
+    degrade identically on both paths. The deadline cap is measured from
+    ``started`` and therefore trips all still-active queries together.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
@@ -344,6 +351,7 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     io_reads = np.zeros(n_queries, dtype=np.int64)
     elapsed = np.zeros(n_queries, dtype=np.float64)
     reason = [""] * n_queries
+    budget_cap = [""] * n_queries
     tallies = ([WithinRadiusTally() for _ in range(n_queries)]
                if index._use_t1 and rehashable else None)
 
@@ -408,6 +416,27 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
                         reason[active[i]] = ("T2" if t2[i]
                                              else "T1" if t1[i]
                                              else "exhausted")
+                    if budget is not None:
+                        # Checked only where no natural rule fired, in
+                        # the tracker's cap order (candidates, io_pages,
+                        # deadline) — mirroring the sequential path.
+                        cand_hit = np.zeros(active.size, dtype=bool) \
+                            if budget.max_candidates is None \
+                            else n_cand[active] >= budget.max_candidates
+                        io_hit = np.zeros(active.size, dtype=bool) \
+                            if budget.max_io_pages is None or pm is None \
+                            else io_reads[active] >= budget.max_io_pages
+                        late = (budget.deadline_s is not None
+                                and time.perf_counter() - t0
+                                >= budget.deadline_s)
+                        over = ~done & (cand_hit | io_hit | late)
+                        for i in np.flatnonzero(over):
+                            q = int(active[i])
+                            reason[q] = "budget"
+                            budget_cap[q] = ("candidates" if cand_hit[i]
+                                             else "io_pages" if io_hit[i]
+                                             else "deadline")
+                        done |= over
                     finished = active[done]
                     if finished.size:
                         _fallback(index, queries, counter, is_candidate,
@@ -428,6 +457,7 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
             rounds=int(rounds[q]), final_radius=int(final_radius[q]),
             candidates=int(n_cand[q]), scanned_entries=int(scanned[q]),
             terminated_by=reason[q], elapsed_s=float(elapsed[q]),
+            degraded=bool(budget_cap[q]), budget_exhausted=budget_cap[q],
         )
         if pm is not None:
             stats.io_reads = int(io_reads[q])
@@ -439,7 +469,7 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
                 scanned_entries=stats.scanned_entries,
                 io_reads=stats.io_reads, io_writes=stats.io_writes,
                 terminated_by=stats.terminated_by,
-                elapsed_s=stats.elapsed_s,
+                elapsed_s=stats.elapsed_s, degraded=stats.degraded,
             )
         ids = (np.concatenate(cand_ids[q]) if cand_ids[q]
                else np.empty(0, dtype=np.int64))
@@ -480,4 +510,5 @@ def _fallback(index, queries, counter, is_candidate, cand_ids, cand_dists,
         cand_ids[q].append(extra)
         cand_dists[q].append(dists)
         n_cand[q] += extra.size
-        reason[q] = "fallback"
+        if reason[q] != "budget":
+            reason[q] = "fallback"

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..hashing.pstable import PStableFamily
 from ..obs import trace
-from ..validation import as_data_matrix, as_query_vector, require_finite
+from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from ..storage.datafile import DataFile
 from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
 from .batchengine import WithinRadiusTally, batch_query
@@ -173,8 +173,14 @@ class C2LSH:
 
     # -- querying ------------------------------------------------------------
 
-    def query(self, query, k=1):
-        """Answer a c-k-ANN query; returns a :class:`QueryResult`."""
+    def query(self, query, k=1, budget=None):
+        """Answer a c-k-ANN query; returns a :class:`QueryResult`.
+
+        ``budget`` optionally caps the query's work with a
+        :class:`repro.reliability.QueryBudget`; on overrun the verified
+        candidates collected so far are returned with
+        ``stats.degraded = True`` instead of the search running on.
+        """
         self._require_fitted()
         query = as_query_vector(query, self._data.shape[1])
         started = time.perf_counter()
@@ -182,15 +188,17 @@ class C2LSH:
             with trace.span("hash"):
                 qids = self._funcs.hash(self._hash_view(query))
             return self._query_hashed(query, qids, k, started=started,
-                                      qspan=qspan)
+                                      qspan=qspan, budget=budget)
 
     def _query_hashed(self, query, query_bucket_ids, k, started=None,
-                      qspan=trace.NULL_SPAN):
+                      qspan=trace.NULL_SPAN, budget=None):
         """Query with precomputed bucket ids (batch path hashes once).
 
         ``started`` anchors ``stats.elapsed_s`` (defaults to now);
         ``qspan`` is the enclosing telemetry span, annotated with the
-        final stats before it closes.
+        final stats before it closes. ``budget`` is checked at round
+        boundaries: an exhausted cap stops the radius walk after the
+        in-flight round's verification completes.
         """
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
@@ -201,6 +209,8 @@ class C2LSH:
         target = min(n, k + params.false_positive_budget)  # T2 threshold
         snapshot = self._pm.snapshot() if self._pm is not None else None
         traced = trace.active()
+        tracker = budget.start(self._pm, started) \
+            if budget is not None else None
 
         counter = self._counter.start_query(
             query_bucket_ids, incremental=self._incremental,
@@ -249,6 +259,12 @@ class C2LSH:
                 if stop is None and (not rehashable or counter.exhausted
                                      or stats.rounds >= _MAX_ROUNDS):
                     stop = "exhausted"
+                if stop is None and tracker is not None:
+                    tripped = tracker.exceeded(n_candidates)
+                    if tripped:
+                        stop = "budget"
+                        stats.degraded = True
+                        stats.budget_exhausted = tripped
                 if traced:
                     self._annotate_round(rspan, radius, touched, fresh,
                                          cand_dists, n_candidates, tally,
@@ -273,7 +289,8 @@ class C2LSH:
                 cand_ids.append(extra)
                 cand_dists.append(extra_dists)
                 n_candidates += extra.size
-                stats.terminated_by = "fallback"
+                if not stats.degraded:
+                    stats.terminated_by = "fallback"
 
         stats.candidates = n_candidates
         if snapshot is not None:
@@ -286,7 +303,7 @@ class C2LSH:
                   scanned_entries=stats.scanned_entries,
                   io_reads=stats.io_reads, io_writes=stats.io_writes,
                   terminated_by=stats.terminated_by,
-                  elapsed_s=stats.elapsed_s)
+                  elapsed_s=stats.elapsed_s, degraded=stats.degraded)
 
         ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
         dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
@@ -402,7 +419,7 @@ class C2LSH:
         """True distances for ``ids``, charging reads per the data layout."""
         return self._family.distance(self._datafile.read(ids), query)
 
-    def query_batch(self, queries, k=1, n_jobs=None):
+    def query_batch(self, queries, k=1, n_jobs=None, budget=None):
         """Answer many queries; returns a list of :class:`QueryResult`.
 
         Queries run through the lockstep batch engine
@@ -413,19 +430,17 @@ class C2LSH:
         looping :meth:`query`; only the throughput changes.
 
         ``n_jobs > 1`` verifies candidate distances on a thread pool (page
-        charging stays on the calling thread). With ``incremental=False``
-        (the A2 recount ablation) the per-query sequential path is kept, so
-        the ablation's I/O pattern stays untouched. Batches larger than
-        1024 queries are processed in blocks to bound the engine's
+        charging stays on the calling thread). ``budget`` applies a
+        :class:`repro.reliability.QueryBudget` to every query in the
+        batch individually, with the same graceful-degradation semantics
+        as :meth:`query`. With ``incremental=False`` (the A2 recount
+        ablation) the per-query sequential path is kept, so the
+        ablation's I/O pattern stays untouched. Batches larger than 1024
+        queries are processed in blocks to bound the engine's
         ``(block, n)`` working matrices.
         """
         self._require_fitted()
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim != 2 or queries.shape[1] != self._data.shape[1]:
-            raise ValueError(
-                f"queries must have shape (q, {self._data.shape[1]})"
-            )
-        require_finite(queries, "queries")
+        queries = as_query_matrix(queries, self._data.shape[1])
         started = time.perf_counter()
         with trace.span("hash", queries=int(queries.shape[0])):
             all_ids = self._funcs.hash(self._hash_view(queries))
@@ -434,14 +449,16 @@ class C2LSH:
             for q, qids in zip(queries, all_ids):
                 with trace.span("query", k=int(k)) as qspan:
                     results.append(self._query_hashed(q, qids, k,
-                                                      qspan=qspan))
+                                                      qspan=qspan,
+                                                      budget=budget))
             return results
         results = []
         for start in range(0, queries.shape[0], _BATCH_BLOCK):
             stop = start + _BATCH_BLOCK
             results.extend(batch_query(self, queries[start:stop],
                                        all_ids[start:stop], k,
-                                       n_jobs=n_jobs, started=started))
+                                       n_jobs=n_jobs, started=started,
+                                       budget=budget))
         return results
 
     def __repr__(self):

@@ -30,7 +30,7 @@ from ..hashing.pstable import PStableFamily
 from ..obs import trace
 from ..storage.hashfile import ENTRY_BYTES
 from ..storage.vsearch import row_searchsorted
-from ..validation import as_data_matrix, as_query_vector
+from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from .scaling import resolve_base_radius
 from .params import optimal_alpha, required_m
 from .results import QueryResult, QueryStats
@@ -153,17 +153,23 @@ class QALSH:
             raise RuntimeError("index was built without a page manager")
         return self.m * self._pm.pages_for(self._data.shape[0], ENTRY_BYTES)
 
-    def query(self, query, k=1):
-        """Answer a c-k-ANN query; returns a :class:`QueryResult`."""
+    def query(self, query, k=1, budget=None):
+        """Answer a c-k-ANN query; returns a :class:`QueryResult`.
+
+        ``budget`` optionally caps the query's work with a
+        :class:`repro.reliability.QueryBudget`; on overrun the verified
+        candidates collected so far are returned with
+        ``stats.degraded = True``.
+        """
         if not self.is_fitted:
             raise RuntimeError("index is not fitted; call fit(data) first")
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         started = time.perf_counter()
         with trace.span("query", k=int(k), index="qalsh") as qspan:
-            return self._traced_query(query, k, started, qspan)
+            return self._traced_query(query, k, started, qspan, budget)
 
-    def _traced_query(self, query, k, started, qspan):
+    def _traced_query(self, query, k, started, qspan, budget=None):
         """Body of :meth:`query`, run inside its ``"query"`` span."""
         n, dim = self._data.shape
         query = as_query_vector(query, dim)
@@ -171,6 +177,8 @@ class QALSH:
             centers = self._funcs.project(query / self._scale)  # (m,)
         target = min(n, k + self.false_positive_budget)
         snapshot = self._pm.snapshot() if self._pm is not None else None
+        tracker = budget.start(self._pm, started) \
+            if budget is not None else None
 
         counts = np.zeros(n, dtype=np.int32)
         lo = np.zeros(self.m, dtype=np.int64)
@@ -245,6 +253,13 @@ class QALSH:
             if exhausted or stats.rounds >= _MAX_ROUNDS:
                 stats.terminated_by = "exhausted"
                 break
+            if tracker is not None:
+                tripped = tracker.exceeded(n_candidates)
+                if tripped:
+                    stats.terminated_by = "budget"
+                    stats.degraded = True
+                    stats.budget_exhausted = tripped
+                    break
             radius *= self.c
 
         if n_candidates < k:
@@ -259,7 +274,8 @@ class QALSH:
                                 fallback=True):
                     cand_dists.append(self._verify(extra, query))
                 n_candidates += extra.size
-                stats.terminated_by = "fallback"
+                if not stats.degraded:
+                    stats.terminated_by = "fallback"
 
         stats.candidates = n_candidates
         if snapshot is not None:
@@ -272,24 +288,28 @@ class QALSH:
                   scanned_entries=stats.scanned_entries,
                   io_reads=stats.io_reads, io_writes=stats.io_writes,
                   terminated_by=stats.terminated_by,
-                  elapsed_s=stats.elapsed_s)
+                  elapsed_s=stats.elapsed_s, degraded=stats.degraded)
 
         ids = np.concatenate(cand_ids) if cand_ids else np.empty(0, np.int64)
         dists = np.concatenate(cand_dists) if cand_dists else np.empty(0)
         return QueryResult.from_candidates(ids, dists, k, stats)
 
-    def query_batch(self, queries, k=1):
+    def query_batch(self, queries, k=1, budget=None):
         """Answer many queries; returns a list of QueryResult."""
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim != 2:
-            raise ValueError("queries must have shape (q, dim)")
-        return [self.query(q, k=k) for q in queries]
+        if not self.is_fitted:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+        queries = as_query_matrix(queries, self._data.shape[1])
+        return [self.query(q, k=k, budget=budget) for q in queries]
 
     def _verify(self, ids, query):
         if self._pm is not None:
             self._pm.charge_read(self._object_pages * ids.size,
                                  site="data_read")
-        diff = self._data[ids] - query
+        vectors = self._data[ids]
+        if self._pm is not None and self._pm.fault_injector is not None \
+                and ids.size:
+            vectors = self._pm.fault_injector.corrupt("data_read", vectors)
+        diff = vectors - query
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
     def __repr__(self):

@@ -26,14 +26,22 @@ class QueryStats:
     io_reads / io_writes:
         Page I/O charged during the query (0 in pure in-memory mode).
     terminated_by:
-        Which rule stopped the search: ``"T1"``, ``"T2"``, ``"exhausted"``
-        or an index-specific label.
+        Which rule stopped the search: ``"T1"``, ``"T2"``, ``"exhausted"``,
+        ``"budget"`` or an index-specific label.
     elapsed_s:
         Wall-clock seconds from the query entering the engine until its
         result was final. The sequential path times each call; the batch
         engine stamps each query when it terminates, so the value is the
         query's observed latency inside its batch (not a per-query share
         of the batch total).
+    degraded:
+        True when a :class:`repro.reliability.QueryBudget` was exhausted
+        and the result is best-effort: the verified candidates collected
+        up to ``final_radius`` (the achieved radius) rather than a full
+        search. Always False for unbudgeted queries.
+    budget_exhausted:
+        Which budget cap tripped (``"deadline"``, ``"io_pages"`` or
+        ``"candidates"``); empty when not degraded.
     """
 
     rounds: int = 0
@@ -44,6 +52,8 @@ class QueryStats:
     io_writes: int = 0
     terminated_by: str = ""
     elapsed_s: float = 0.0
+    degraded: bool = False
+    budget_exhausted: str = ""
 
 
 @dataclass

@@ -21,6 +21,7 @@ import json
 import os
 import sys
 import time
+import traceback
 
 import numpy as np
 
@@ -632,15 +633,59 @@ def _run_experiment(name, args):
     return EXPERIMENTS[name](args)
 
 
+def _run_safely(name, args):
+    """Run one experiment, containing failures so a sweep can continue.
+
+    Returns True on success. An unexpected exception is reported on
+    stderr and — when ``--out-dir`` is given — recorded as
+    ``{name}_error.json`` (type, message, traceback) next to where the
+    experiment's CSV would have landed, so a long sweep both keeps going
+    and leaves a machine-readable trail of what broke.
+    ``KeyboardInterrupt`` and ``SystemExit`` still propagate: argument
+    errors and user interrupts must not be swallowed as experiment
+    failures.
+    """
+    try:
+        _run_experiment(name, args)
+        return True
+    except Exception as exc:
+        print(f"experiment {name} failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            stem = name.replace("-", "_")
+            payload = {
+                "experiment": name,
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            with open(os.path.join(args.out_dir,
+                                   f"{stem}_error.json"), "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+        return False
+
+
 def main(argv=None):
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Individual experiments are fault-contained (see :func:`_run_safely`):
+    a crash in one experiment of an ``all`` sweep is logged and the sweep
+    continues; the exit code is 1 when anything failed.
+    """
     args = build_parser().parse_args(argv)
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    failed = []
+    for name in names:
+        if args.experiment == "all":
             print(f"== {name} ==")
-            _run_experiment(name, args)
-    else:
-        _run_experiment(args.experiment, args)
+        if not _run_safely(name, args):
+            failed.append(name)
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,120 @@
+"""Query budgets and graceful degradation.
+
+C2LSH's query algorithm is naturally interruptible: every virtual-
+rehashing round (``R = c^i``) only *widens* the candidate set, so the
+verified candidates at any smaller radius are a principled best-effort
+answer. A :class:`QueryBudget` caps the work a query may perform —
+wall-clock deadline, charged I/O pages, verified candidates — and when a
+cap is hit mid-search the engine finishes verifying the candidates it has
+already collected and returns them with
+``QueryStats.degraded = True``, ``QueryStats.budget_exhausted`` naming
+the tripped cap, and ``QueryStats.final_radius`` recording the achieved
+radius. A budgeted query never raises because of its budget.
+
+Budgets are checked at round boundaries (after the round's counting and
+verification), so a round in flight always completes: results are always
+*verified* true distances, never raw collision-count guesses. The I/O cap
+requires a :class:`repro.storage.PageManager` on the index — without one
+there is no page accounting to compare against and the cap is inert. The
+``deadline_s`` cap reads the wall clock and is therefore the one
+non-deterministic cap; ``max_io_pages`` and ``max_candidates`` degrade
+deterministically (same seed, same budget ⇒ same degraded result).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["QueryBudget", "BudgetTracker"]
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Work limits for one query, with graceful degradation on overrun.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock seconds the query may run (measured from query entry,
+        including hashing).
+    max_io_pages:
+        Page reads+writes the query may charge to its page manager.
+    max_candidates:
+        Verified candidates after which the search stops growing.
+
+    All caps default to ``None`` (unlimited); at least one must be set.
+    The same object works on the sequential and batch paths of
+    :class:`repro.core.c2lsh.C2LSH` and on :class:`repro.core.qalsh.QALSH`.
+    """
+
+    deadline_s: float | None = None
+    max_io_pages: int | None = None
+    max_candidates: int | None = None
+
+    def __post_init__(self):
+        if (self.deadline_s is None and self.max_io_pages is None
+                and self.max_candidates is None):
+            raise ValueError("a QueryBudget must set at least one limit")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.max_io_pages is not None and self.max_io_pages < 1:
+            raise ValueError(
+                f"max_io_pages must be >= 1, got {self.max_io_pages}"
+            )
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1, got {self.max_candidates}"
+            )
+
+    def start(self, page_manager=None, started=None):
+        """Begin tracking one query; returns a :class:`BudgetTracker`.
+
+        ``started`` anchors the deadline (a ``time.perf_counter()``
+        value; defaults to now). ``page_manager`` supplies the I/O
+        snapshot the ``max_io_pages`` cap diffs against.
+        """
+        return BudgetTracker(self, page_manager, started)
+
+
+class BudgetTracker:
+    """Per-query budget state: a snapshot plus an ``exceeded`` probe."""
+
+    __slots__ = ("budget", "_pm", "_snapshot", "_started")
+
+    def __init__(self, budget, page_manager=None, started=None):
+        self.budget = budget
+        self._pm = page_manager
+        self._snapshot = (page_manager.snapshot()
+                          if page_manager is not None else None)
+        self._started = started if started is not None \
+            else time.perf_counter()
+
+    def io_spent(self):
+        """Pages charged since tracking started (0 without a manager)."""
+        if self._snapshot is None:
+            return 0
+        delta = self._pm.since(self._snapshot)
+        return delta.reads + delta.writes
+
+    def exceeded(self, n_candidates=0):
+        """Which cap is exhausted, or ``""`` while within budget.
+
+        Deterministic caps are checked first so degraded results are
+        reproducible whenever the deadline is not the binding limit:
+        the order is ``"candidates"``, then ``"io_pages"``, then
+        ``"deadline"``.
+        """
+        b = self.budget
+        if (b.max_candidates is not None
+                and n_candidates >= b.max_candidates):
+            return "candidates"
+        if (b.max_io_pages is not None and self._snapshot is not None
+                and self.io_spent() >= b.max_io_pages):
+            return "io_pages"
+        if (b.deadline_s is not None
+                and time.perf_counter() - self._started >= b.deadline_s):
+            return "deadline"
+        return ""

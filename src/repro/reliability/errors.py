@@ -1,0 +1,73 @@
+"""Typed failures of the reliability layer.
+
+Two failure families exist in this repository:
+
+* **Transient** — an I/O operation failed but retrying may succeed
+  (:class:`TransientIOError`). These are raised by the fault injector at
+  the storage charge sites and absorbed by the bounded retry wrapper in
+  :class:`repro.reliability.FaultInjector`; one only escapes to the caller
+  when the retry budget is exhausted.
+* **Permanent** — a persisted index file is damaged
+  (:class:`CorruptIndexError`). Retrying cannot help; the error names the
+  damaged section so operators know whether the container, the manifest,
+  or a specific array is at fault.
+
+``CorruptIndexError`` subclasses :class:`ValueError` so existing callers
+that guard index loading with ``except ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TransientIOError", "CorruptIndexError"]
+
+
+class TransientIOError(OSError):
+    """A retryable I/O failure injected (or modeled) at a storage site.
+
+    Attributes
+    ----------
+    site:
+        The storage charge site that failed (``"bucket_scan"``,
+        ``"data_read"``, ``"btree_descend"``, ...).
+    op:
+        1-based operation sequence number at that site when the failure
+        fired, useful for reproducing a fault deterministically.
+    """
+
+    def __init__(self, site, op=0, detail=""):
+        self.site = str(site)
+        self.op = int(op)
+        self.detail = str(detail)
+        message = f"transient I/O failure at site {self.site!r} (op {self.op})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class CorruptIndexError(ValueError):
+    """A persisted index file failed integrity verification.
+
+    Attributes
+    ----------
+    path:
+        The file that failed to load.
+    section:
+        Which part of the file is damaged: ``"container"`` (the file is
+        not a readable archive), ``"manifest"`` (the integrity manifest is
+        missing or unparseable), ``"format_version"`` / ``"kind"``
+        (header fields disagree with what the loader expects), or the
+        name of the specific array whose checksum, dtype, or shape did
+        not match.
+    detail:
+        Free-form diagnostic text.
+    """
+
+    def __init__(self, path, section, detail=""):
+        self.path = str(path)
+        self.section = str(section)
+        self.detail = str(detail)
+        message = (f"corrupt index file {self.path!r}: "
+                   f"section {self.section!r} failed verification")
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)

@@ -1,0 +1,371 @@
+"""Deterministic fault injection for the storage charge sites.
+
+Every page access in this repository funnels through a
+:class:`repro.storage.PageManager` charge call that names its *site*
+(``"bucket_scan"``, ``"data_read"``, ``"btree_descend"``, ``"build"``,
+...). A :class:`FaultInjector` attached to the page manager intercepts
+those calls and, according to a declarative :class:`FaultPlan`, can
+
+* raise a :class:`~repro.reliability.errors.TransientIOError`,
+* inject latency (``time.sleep``), or
+* corrupt the data a site returns (via :meth:`FaultInjector.corrupt`,
+  which the data-file read path consults).
+
+Transient errors are absorbed by the injector's own bounded
+retry-with-backoff wrapper (:meth:`FaultInjector.guard`): the site is
+retried up to :attr:`RetryPolicy.max_retries` times, each retry recorded
+in the injector's :class:`repro.obs.MetricsRegistry`, and the error only
+escapes when the retry budget is exhausted.
+
+Determinism: the injector is seedable and all of its decisions are pure
+functions of ``(seed, per-site operation counts)``. Rules using ``every``
+fire on fixed operation indices; rules using ``probability < 1`` draw
+from the injector's private RNG, so runs with the same seed *and* the
+same operation order repeat exactly. Corruption modes ``"zero"`` and
+``"bias"`` depend only on the array being corrupted, which is what makes
+the batch and sequential query paths equivalent under the same plan (the
+two paths interleave site operations differently, but transform identical
+reads identically).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+from .errors import TransientIOError
+
+__all__ = ["FaultRule", "FaultPlan", "RetryPolicy", "FaultInjector",
+           "KINDS", "CORRUPT_MODES"]
+
+#: Fault kinds a rule may inject.
+KINDS = ("error", "latency", "corrupt")
+
+#: Supported corruption transforms (see :meth:`FaultInjector.corrupt`).
+CORRUPT_MODES = ("zero", "bias", "noise")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault: where, what, and when it fires.
+
+    Parameters
+    ----------
+    site:
+        Charge site the rule applies to, or ``"*"`` for every site.
+    kind:
+        ``"error"`` (raise :class:`TransientIOError`), ``"latency"``
+        (sleep ``latency_s``), or ``"corrupt"`` (transform returned
+        data).
+    probability:
+        Chance of firing per matching operation (ignored when ``every``
+        is set). ``1.0`` fires on every operation.
+    every:
+        Deterministic cadence: fire on every ``every``-th matching
+        operation (1-based, counted after ``start_after``). Preferred
+        over ``probability`` when exact reproducibility across differing
+        operation interleavings matters.
+    start_after:
+        Skip this many operations at the site before the rule arms.
+    max_triggers:
+        Stop firing after this many triggers (``None`` = unlimited).
+    latency_s:
+        Sleep duration for ``"latency"`` rules.
+    mode:
+        Corruption transform for ``"corrupt"`` rules: ``"zero"`` (wipe
+        the block), ``"bias"`` (add ``amount`` to every element), or
+        ``"noise"`` (add seeded Gaussian noise of scale ``amount``).
+    amount:
+        Magnitude parameter of ``"bias"`` / ``"noise"``.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    every: int | None = None
+    start_after: int = 0
+    max_triggers: int | None = None
+    latency_s: float = 0.0
+    mode: str = "zero"
+    amount: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; available: {KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.start_after < 0:
+            raise ValueError(
+                f"start_after must be >= 0, got {self.start_after}"
+            )
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ValueError(
+                f"max_triggers must be >= 1, got {self.max_triggers}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"unknown corruption mode {self.mode!r}; "
+                f"available: {CORRUPT_MODES}"
+            )
+
+    def matches(self, site):
+        """Whether this rule applies to operations at ``site``."""
+        return self.site == "*" or self.site == site
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultRule` entries.
+
+    Plans are declarative and serializable: :meth:`from_dict` /
+    :meth:`to_dict` round-trip through plain JSON-compatible structures,
+    so chaos configurations can live in files or CI matrices.
+    """
+
+    rules: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise TypeError(
+                    f"plan entries must be FaultRule, got {type(rule).__name__}"
+                )
+
+    @classmethod
+    def none(cls):
+        """The empty plan: injector attached, no faults fire."""
+        return cls(())
+
+    @classmethod
+    def from_dict(cls, spec):
+        """Build a plan from ``{"rules": [{...}, ...]}`` (or a bare list)."""
+        if isinstance(spec, dict):
+            spec = spec.get("rules", [])
+        return cls(tuple(
+            rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+            for rule in spec
+        ))
+
+    def to_dict(self):
+        """The plan as a JSON-serializable dict (inverse of from_dict)."""
+        return {"rules": [asdict(rule) for rule in self.rules]}
+
+    def for_site(self, site, kinds):
+        """Rules matching ``site`` whose kind is in ``kinds``."""
+        return [r for r in self.rules if r.kind in kinds and r.matches(site)]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient storage failures.
+
+    ``max_retries`` extra attempts follow a failed operation, sleeping
+    ``backoff_s`` before the first retry and multiplying the delay by
+    ``multiplier`` after each. The defaults retry promptly (no sleep) so
+    simulated chaos tests stay fast; services wanting real pacing set
+    ``backoff_s``.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.0
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+
+class FaultInjector:
+    """Seedable fault source consulted by the storage charge sites.
+
+    Attach one to a :class:`repro.storage.PageManager`
+    (``PageManager(fault_injector=...)``) and every charge call consults
+    :meth:`guard`; the data-file read path additionally passes returned
+    vectors through :meth:`corrupt`. With the empty plan the injector is
+    a no-op apart from per-site operation counting.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`FaultPlan`, a dict/list accepted by
+        :meth:`FaultPlan.from_dict`, or ``None`` for the empty plan.
+    seed:
+        Seeds the private RNG behind probabilistic rules and
+        ``"noise"`` corruption.
+    retry:
+        The :class:`RetryPolicy` bounding :meth:`guard`'s retries.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to record injected faults
+        and retries into; a private registry is created when omitted.
+        Counters used: ``reliability.fault.<site>.<kind>``,
+        ``reliability.retry.<site>``, ``reliability.giveup.<site>``, and
+        ``reliability.ops.<site>``.
+    """
+
+    def __init__(self, plan=None, seed=0, retry=None, metrics=None):
+        if plan is None:
+            plan = FaultPlan.none()
+        elif not isinstance(plan, FaultPlan):
+            plan = FaultPlan.from_dict(plan)
+        self.plan = plan
+        self.seed = int(seed)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = True
+        self._rng = random.Random(self.seed)
+        self._ops = {}        # (channel, site) -> operations seen
+        self._fired = {}      # id(rule) is unstable; key by rule index
+        self._rule_index = {rule: i for i, rule in enumerate(plan.rules)}
+
+    # -- rule evaluation -----------------------------------------------------
+
+    def _next_op(self, channel, site):
+        key = (channel, site)
+        op = self._ops.get(key, 0) + 1
+        self._ops[key] = op
+        return op
+
+    def _fires(self, rule, op):
+        if op <= rule.start_after:
+            return False
+        idx = self._rule_index[rule]
+        fired = self._fired.get(idx, 0)
+        if rule.max_triggers is not None and fired >= rule.max_triggers:
+            return False
+        if rule.every is not None:
+            hit = (op - rule.start_after) % rule.every == 0
+        elif rule.probability >= 1.0:
+            hit = True
+        else:
+            hit = self._rng.random() < rule.probability
+        if hit:
+            self._fired[idx] = fired + 1
+        return hit
+
+    # -- the three injection channels ----------------------------------------
+
+    def check(self, site):
+        """One raw operation at ``site``: may sleep, may raise.
+
+        Raises :class:`TransientIOError` when an ``"error"`` rule fires.
+        Callers that want the bounded retry semantics use :meth:`guard`
+        instead; :meth:`check` is the single-attempt primitive.
+        """
+        if not self.enabled:
+            return
+        op = self._next_op("io", site)
+        self.metrics.counter(f"reliability.ops.{site}").inc()
+        for rule in self.plan.for_site(site, ("latency", "error")):
+            if not self._fires(rule, op):
+                continue
+            self.metrics.counter(
+                f"reliability.fault.{site}.{rule.kind}").inc()
+            if rule.kind == "latency":
+                if rule.latency_s:
+                    time.sleep(rule.latency_s)
+            else:
+                raise TransientIOError(site, op)
+
+    def guard(self, site):
+        """Run one operation at ``site`` under the retry policy.
+
+        Returns the number of retries it took (0 when the first attempt
+        succeeded). Each retry is recorded as ``reliability.retry.<site>``;
+        when the policy's budget is exhausted the final
+        :class:`TransientIOError` is recorded as
+        ``reliability.giveup.<site>`` and re-raised.
+        """
+        if not self.enabled or not self.plan.rules:
+            return 0
+        delay = self.retry.backoff_s
+        for attempt in range(self.retry.max_retries + 1):
+            try:
+                self.check(site)
+                return attempt
+            except TransientIOError:
+                if attempt >= self.retry.max_retries:
+                    self.metrics.counter(f"reliability.giveup.{site}").inc()
+                    raise
+                self.metrics.counter(f"reliability.retry.{site}").inc()
+                if delay:
+                    time.sleep(delay)
+                    delay *= self.retry.multiplier
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def corrupt(self, site, array):
+        """Pass data returned by ``site`` through the corruption rules.
+
+        Returns ``array`` untouched when no ``"corrupt"`` rule fires;
+        otherwise returns a transformed *copy* (the caller's array is
+        never mutated). Transforms:
+
+        * ``"zero"`` — the whole block becomes zeros;
+        * ``"bias"`` — ``amount`` is added to every element;
+        * ``"noise"`` — seeded Gaussian noise of scale ``amount`` is
+          added (deterministic for a fixed seed and operation order).
+        """
+        if not self.enabled:
+            return array
+        rules = self.plan.for_site(site, ("corrupt",))
+        if not rules:
+            return array
+        op = self._next_op("data", site)
+        out = array
+        for rule in rules:
+            if not self._fires(rule, op):
+                continue
+            self.metrics.counter(
+                f"reliability.fault.{site}.corrupt").inc()
+            if out is array:
+                out = np.array(array, dtype=np.float64, copy=True)
+            if rule.mode == "zero":
+                out[...] = 0.0
+            elif rule.mode == "bias":
+                out += rule.amount
+            else:  # noise
+                noise = np.array(
+                    [self._rng.gauss(0.0, 1.0) for _ in range(out.size)]
+                ).reshape(out.shape)
+                out += rule.amount * noise
+        return out
+
+    # -- introspection -------------------------------------------------------
+
+    def ops(self, site, channel="io"):
+        """Operations observed at ``site`` on ``channel`` (io / data)."""
+        return self._ops.get((channel, site), 0)
+
+    def snapshot(self):
+        """The injector's metrics as one JSON-serializable dict."""
+        return self.metrics.snapshot()
+
+    def reset(self):
+        """Clear operation counts, trigger counts, and reseed the RNG."""
+        self._ops.clear()
+        self._fired.clear()
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self):
+        return (f"FaultInjector(rules={len(self.plan.rules)}, "
+                f"seed={self.seed}, enabled={self.enabled})")

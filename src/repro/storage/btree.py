@@ -6,7 +6,11 @@ descent followed by a bidirectional leaf sweep. The tree here is static
 (bulk-loaded once from sorted keys), which matches how LSB-forest builds its
 index, and charges page reads to a :class:`repro.storage.pages.PageManager`:
 one read per node on a descent, one read per *leaf* first touched by a
-cursor.
+cursor. Because every page touch funnels through those charge calls
+(sites ``"btree_descend"`` and ``"btree_leaf"``), a
+:class:`repro.reliability.FaultInjector` attached to the page manager can
+inject transient I/O errors or latency into descents without the tree
+knowing about it.
 
 Keys can be any totally ordered Python values; LSB uses tuples of uint64
 words (left-aligned Z-order codes), for which tuple comparison equals

@@ -99,7 +99,10 @@ class DataFile:
         """Vectors for ``ids``, charging reads per the layout policy.
 
         ``scattered`` charges ``object_pages`` per id; ``id``/``zorder``
-        charge one read per *distinct* page touched by the batch.
+        charge one read per *distinct* page touched by the batch. When
+        the page manager carries a fault injector, the charge is
+        retry-guarded and the returned block passes through the
+        injector's ``data_read`` corruption rules.
         """
         ids = np.asarray(ids, dtype=np.int64)
         if self._pm is not None and ids.size:
@@ -113,7 +116,11 @@ class DataFile:
                 self._pm.charge_read(
                     max(distinct, distinct * self._object_pages),
                     site="data_read")
-        return self.data[ids]
+        vectors = self.data[ids]
+        if self._pm is not None and self._pm.fault_injector is not None \
+                and ids.size:
+            vectors = self._pm.fault_injector.corrupt("data_read", vectors)
+        return vectors
 
     def sequential_scan(self):
         """The whole matrix, charged as one sequential sweep."""

@@ -53,13 +53,23 @@ class IOStats:
 
 
 class PageManager:
-    """Charges and accumulates page I/O under a fixed page size."""
+    """Charges and accumulates page I/O under a fixed page size.
 
-    def __init__(self, page_size=DEFAULT_PAGE_SIZE):
+    ``fault_injector`` optionally attaches a
+    :class:`repro.reliability.FaultInjector`: every charge call then
+    consults the injector's retry-guarded fault check for its site
+    before the pages are counted, so latency and transient-error rules
+    fire exactly where the modeled I/O happens. Charges are counted only
+    for operations that (eventually) succeed; retries are recorded in
+    the injector's metrics registry, not in :attr:`stats`.
+    """
+
+    def __init__(self, page_size=DEFAULT_PAGE_SIZE, fault_injector=None):
         if page_size < 16:
             raise ValueError(f"page size unreasonably small: {page_size}")
         self.page_size = int(page_size)
         self.stats = IOStats()
+        self.fault_injector = fault_injector
 
     def entries_per_page(self, entry_bytes):
         """How many fixed-size entries fit on one page (at least 1)."""
@@ -84,6 +94,8 @@ class PageManager:
         """
         if pages < 0:
             raise ValueError("cannot charge a negative number of page reads")
+        if self.fault_injector is not None:
+            self.fault_injector.guard(site or "unattributed")
         self.stats.reads += int(pages)
         trace = _trace.current()
         if trace is not None:
@@ -93,6 +105,8 @@ class PageManager:
         """Record page writes; ``site`` names the charging call site."""
         if pages < 0:
             raise ValueError("cannot charge a negative number of page writes")
+        if self.fault_injector is not None:
+            self.fault_injector.guard(site or "unattributed")
         self.stats.writes += int(pages)
         trace = _trace.current()
         if trace is not None:

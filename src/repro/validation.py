@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_data_matrix", "as_query_vector", "require_finite"]
+__all__ = ["as_data_matrix", "as_query_matrix", "as_query_vector",
+           "require_finite"]
 
 
 def require_finite(array, name):
@@ -47,3 +48,23 @@ def as_query_vector(query, dim, name="query"):
             f"{name} must have shape ({dim},), got {query.shape}"
         )
     return require_finite(query, name)
+
+
+def as_query_matrix(queries, dim, name="queries"):
+    """Validate a ``(q, dim)`` query batch with per-row finiteness errors.
+
+    The batch analogue of :func:`as_query_vector`: a NaN/inf coordinate
+    is reported against the specific offending row (``queries[3]
+    contains ...``), exactly as the sequential path reports it for the
+    single query, rather than as an opaque whole-matrix failure.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != dim:
+        raise ValueError(
+            f"{name} must have shape (q, {dim}), got {queries.shape}"
+        )
+    finite = np.isfinite(queries)
+    if not finite.all():
+        row = int(np.flatnonzero(~finite.all(axis=1))[0])
+        require_finite(queries[row], f"{name}[{row}]")
+    return queries
