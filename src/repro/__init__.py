@@ -23,6 +23,7 @@ from .core import (
     QueryStats,
     design_params,
 )
+from .durability import DurableUpdatableC2LSH
 from .hashing import (
     BitSamplingFamily,
     LSHFamily,
@@ -65,5 +66,6 @@ __all__ = [
     "RetryPolicy",
     "TransientIOError",
     "CorruptIndexError",
+    "DurableUpdatableC2LSH",
     "__version__",
 ]

@@ -7,8 +7,10 @@ from .explain import QueryExplanation, RoundTrace, explain
 from .params import C2LSHParams, design_params, optimal_alpha, required_m
 from .persist import (
     CorruptIndexError,
+    load_arrays,
     load_c2lsh,
     load_qalsh,
+    save_arrays,
     save_c2lsh,
     save_qalsh,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "QueryStats",
     "save_c2lsh",
     "load_c2lsh",
+    "save_arrays",
+    "load_arrays",
     "CorruptIndexError",
     "save_qalsh",
     "load_qalsh",

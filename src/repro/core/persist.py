@@ -43,7 +43,7 @@ from .counting import CollisionCounter
 from .params import C2LSHParams
 
 __all__ = ["save_c2lsh", "load_c2lsh", "save_qalsh", "load_qalsh",
-           "CorruptIndexError"]
+           "save_arrays", "load_arrays", "CorruptIndexError"]
 
 _FORMAT_VERSION = 2
 _MANIFEST = "__manifest__"
@@ -194,6 +194,32 @@ def _load_verified(path, expected_kind):
                     path, name, "CRC32 checksum mismatch")
             arrays[name] = array
     return arrays
+
+
+def save_arrays(path, kind, arrays):
+    """Save a verified v2 array container of the given ``kind``.
+
+    The checkpoint section of the persistence format: the same atomic
+    write (tempfile + fsync + ``os.replace`` + directory fsync) and the
+    same embedded CRC32/dtype/shape manifest as the index savers, but for
+    an arbitrary ``{name: array}`` mapping. :mod:`repro.durability` uses
+    this for :class:`~repro.durability.DurableUpdatableC2LSH` checkpoint
+    snapshots; ``kind`` is recorded in the manifest and re-checked by
+    :func:`load_arrays` so containers cannot be confused across callers.
+    Returns the path written (``.npz`` appended when missing).
+    """
+    return _save_index(path, str(kind), arrays)
+
+
+def load_arrays(path, kind):
+    """Load and verify a container written by :func:`save_arrays`.
+
+    Every array is checked against its recorded CRC32/dtype/shape and the
+    stored ``kind`` must match; any disagreement raises
+    :class:`CorruptIndexError` naming the damaged section. Returns the
+    ``{name: array}`` mapping.
+    """
+    return _load_verified(path, str(kind))
 
 
 def save_c2lsh(index, path):

@@ -15,6 +15,10 @@ inserts and deletes, and the classical answer is the one implemented here
 
 Ids are stable handles assigned at insert time and never reused, so callers
 can keep external references across rebuilds.
+
+Everything here lives in RAM; for crash safety wrap the index in
+:class:`repro.durability.DurableUpdatableC2LSH`, which write-ahead-logs
+every update and checkpoints snapshots through :mod:`repro.core.persist`.
 """
 
 from __future__ import annotations
@@ -64,27 +68,41 @@ class UpdatableC2LSH:
         self._index = None          # C2LSH over _indexed rows
         self._indexed = None        # (n_idx, dim) matrix behind _index
         self._indexed_ids = np.empty(0, dtype=np.int64)
+        self._indexed_ids_sorted = np.empty(0, dtype=np.int64)
         self._buffer = []           # list of (handle, vector)
         self._deleted = set()
+        # Sorted int64 mirror of _deleted: vectorized filtering uses this
+        # array directly instead of rebuilding list(self._deleted) per call.
+        self._tombstones = np.empty(0, dtype=np.int64)
+        self._deleted_indexed = 0   # tombstones referring to indexed rows
         self._next_id = 0
         self.rebuilds = 0
 
     # -- updates -------------------------------------------------------------
 
-    def insert(self, points):
-        """Insert one vector or an ``(n, dim)`` batch; returns new handles."""
+    def _coerce_points(self, points):
+        """Validate one vector or an ``(n, dim)`` batch; returns the batch.
+
+        Shared with :class:`repro.durability.DurableUpdatableC2LSH`, which
+        must reject bad input *before* write-ahead-logging it.
+        """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim == 1:
             points = points[np.newaxis, :]
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError("points must be a non-empty (n, dim) matrix")
-        if self._dim is None:
-            self._dim = points.shape[1]
-        elif points.shape[1] != self._dim:
+        if self._dim is not None and points.shape[1] != self._dim:
             raise ValueError(
                 f"dimension mismatch: index holds {self._dim}-d points, "
                 f"got {points.shape[1]}-d"
             )
+        return points
+
+    def insert(self, points):
+        """Insert one vector or an ``(n, dim)`` batch; returns new handles."""
+        points = self._coerce_points(points)
+        if self._dim is None:
+            self._dim = points.shape[1]
         handles = np.arange(self._next_id, self._next_id + points.shape[0],
                             dtype=np.int64)
         self._next_id += points.shape[0]
@@ -92,24 +110,44 @@ class UpdatableC2LSH:
         self._maybe_rebuild()
         return handles
 
-    def delete(self, handles):
-        """Tombstone one handle or an iterable of handles."""
+    def _coerce_handles(self, handles):
+        """Validate one handle or an iterable; returns a list of ints.
+
+        Validation happens before any mutation, so a :class:`KeyError`
+        leaves the tombstone set untouched (and lets the durable facade
+        refuse to log invalid deletes).
+        """
         if np.isscalar(handles):
             handles = [handles]
+        out = []
         for handle in handles:
             handle = int(handle)
             if not (0 <= handle < self._next_id):
                 raise KeyError(f"unknown handle {handle}")
-            self._deleted.add(handle)
+            out.append(handle)
+        return out
+
+    def delete(self, handles):
+        """Tombstone one handle or an iterable of handles."""
+        fresh = [h for h in self._coerce_handles(handles)
+                 if h not in self._deleted]
+        if not fresh:
+            return
+        self._deleted.update(fresh)
+        fresh = np.asarray(sorted(set(fresh)), dtype=np.int64)
+        self._tombstones = np.union1d(self._tombstones, fresh)
+        if self._indexed_ids_sorted.size:
+            pos = np.searchsorted(self._indexed_ids_sorted, fresh)
+            pos = np.minimum(pos, self._indexed_ids_sorted.size - 1)
+            self._deleted_indexed += int(
+                np.count_nonzero(self._indexed_ids_sorted[pos] == fresh)
+            )
 
     def __len__(self):
         """Number of live (inserted minus deleted) points."""
         live_buffer = sum(1 for h, _ in self._buffer
                           if h not in self._deleted)
-        live_indexed = int(np.count_nonzero(
-            ~np.isin(self._indexed_ids, list(self._deleted))
-        )) if self._indexed_ids.size else 0
-        return live_buffer + live_indexed
+        return live_buffer + self._indexed_ids.size - self._deleted_indexed
 
     def _maybe_rebuild(self):
         indexed = self._indexed_ids.size
@@ -134,20 +172,32 @@ class UpdatableC2LSH:
                 handles.append(handle)
         self._buffer = []
         self._deleted = set()
+        self._tombstones = np.empty(0, dtype=np.int64)
+        self._deleted_indexed = 0
         if not rows:
             self._index = None
             self._indexed = None
             self._indexed_ids = np.empty(0, dtype=np.int64)
+            self._indexed_ids_sorted = np.empty(0, dtype=np.int64)
             return
         self._indexed = np.vstack(rows)
         self._indexed_ids = np.asarray(handles, dtype=np.int64)
+        self._indexed_ids_sorted = np.sort(self._indexed_ids)
         self._index = C2LSH(**self._kwargs).fit(self._indexed)
         self.rebuilds += 1
 
     # -- queries -------------------------------------------------------------
 
-    def query(self, query, k=1):
-        """c-k-ANN over the live points; ids are insert-time handles."""
+    def query(self, query, k=1, budget=None):
+        """c-k-ANN over the live points; ids are insert-time handles.
+
+        ``budget`` optionally caps the main-index search with a
+        :class:`repro.reliability.QueryBudget`; on overrun the result is
+        best-effort and ``stats.degraded`` / ``stats.budget_exhausted``
+        report the tripped cap. The side-buffer scan is always exact (it
+        is at most one or two pages), so a degraded answer still contains
+        every live buffered point.
+        """
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         if self._dim is None:
@@ -160,10 +210,14 @@ class UpdatableC2LSH:
         dists = []
         stats = QueryStats(terminated_by="merged")
         if self._index is not None:
-            main = self._index.query(query, k=k + len(self._deleted))
+            # Over-fetch only for tombstones that can actually displace an
+            # indexed answer (buffered deletes never appear in the main
+            # index), and never ask the inner index for more than it holds.
+            fetch = min(self._indexed_ids.size, k + self._deleted_indexed)
+            main = self._index.query(query, k=fetch, budget=budget)
             handles = self._indexed_ids[main.ids]
-            live = ~np.isin(handles, list(self._deleted)) \
-                if self._deleted else np.ones(handles.size, dtype=bool)
+            live = ~np.isin(handles, self._tombstones) \
+                if self._deleted_indexed else np.ones(handles.size, dtype=bool)
             ids.append(handles[live])
             dists.append(main.distances[live])
             stats = main.stats

@@ -1,0 +1,60 @@
+"""Durability: write-ahead logging, checkpointing, crash recovery.
+
+The static index got crash-safe persistence in the reliability layer
+(atomic renames + CRC manifests in :mod:`repro.core.persist`); this
+package is the dynamic half. :class:`DurableUpdatableC2LSH` wraps
+:class:`repro.core.updatable.UpdatableC2LSH` so that every insert and
+delete survives a crash:
+
+* :mod:`repro.durability.wal` — a CRC32-framed, fsync'd write-ahead log
+  with torn-tail repair and mid-log corruption detection;
+* :mod:`repro.durability.checkpoint` — full-state snapshots through the
+  persist-v2 container format, stamped with a WAL high-water mark so
+  replay is idempotent;
+* :mod:`repro.durability.durable` — the facade tying them together:
+  log → apply → checkpoint → rotate, and exact-state recovery on open.
+
+Typical session::
+
+    from repro.durability import DurableUpdatableC2LSH
+
+    with DurableUpdatableC2LSH("idx/", seed=0, c=2) as index:
+        handles = index.insert(batch)
+        index.delete(handles[:3])
+        index.checkpoint()
+    # ... crash anywhere above ...
+    recovered = DurableUpdatableC2LSH("idx/", seed=0, c=2)
+
+See ``docs/RELIABILITY.md`` ("Durable updates & recovery") for the log
+format, the fsync policy, and the recovery semantics.
+"""
+
+from .checkpoint import CHECKPOINT_KIND, load_checkpoint, save_checkpoint
+from .durable import DurableUpdatableC2LSH
+from .wal import (
+    CHECKPOINT_BEGIN,
+    CHECKPOINT_END,
+    DELETE,
+    INSERT,
+    RECORD_TYPES,
+    ScanResult,
+    WalRecord,
+    WriteAheadLog,
+    scan_log,
+)
+
+__all__ = [
+    "DurableUpdatableC2LSH",
+    "WriteAheadLog",
+    "WalRecord",
+    "ScanResult",
+    "scan_log",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_KIND",
+    "INSERT",
+    "DELETE",
+    "CHECKPOINT_BEGIN",
+    "CHECKPOINT_END",
+    "RECORD_TYPES",
+]

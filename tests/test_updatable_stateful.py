@@ -1,4 +1,4 @@
-"""Stateful property test: UpdatableC2LSH against a brute-force oracle.
+"""Stateful property tests: UpdatableC2LSH against a brute-force oracle.
 
 Hypothesis drives random interleavings of inserts, deletes and queries
 while a dict-based oracle tracks the live points; after every step the
@@ -6,9 +6,19 @@ index's 1-NN answer must match the oracle exactly (the 1-NN is unique with
 probability 1 for continuous data, so approximate search with the fallback
 guarantee must find it among its candidates — and the wrapper's buffer
 merge must never lose or resurrect points).
+
+The second machine drives the durable facade through crashes: random
+insert/delete/checkpoint interleavings interrupted by clean kills,
+fault-injected kills mid-record, and WAL files truncated at arbitrary
+byte offsets. Recovery must reproduce exactly the live-point set and
+handle assignments implied by the records that survived on disk.
 """
 
+import shutil
+import tempfile
+
 import numpy as np
+import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -19,7 +29,15 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro import (
+    DurableUpdatableC2LSH,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    TransientIOError,
+)
 from repro.core.updatable import UpdatableC2LSH
+from repro.durability import scan_log
 
 DIM = 6
 
@@ -73,4 +91,149 @@ class UpdatableOracle(RuleBasedStateMachine):
 TestUpdatableOracle = UpdatableOracle.TestCase
 TestUpdatableOracle.settings = settings(
     max_examples=12, stateful_step_count=20, deadline=None,
+)
+
+
+class DurableCrashRecovery(RuleBasedStateMachine):
+    """Random updates + crashes vs an oracle replay of the durable log.
+
+    The oracle is a pair ``(base, journal)``: ``base`` is the live-point
+    dict at the last checkpoint, ``journal`` the mutations logged since,
+    keyed by their WAL sequence numbers. A crash at an arbitrary WAL byte
+    offset keeps exactly the journal prefix whose frames survived intact,
+    so the expected post-recovery state is ``base`` plus that prefix —
+    computed here in plain Python, independently of the replay code.
+    """
+
+    KWARGS = dict(seed=0, c=2, min_index_size=60, rebuild_threshold=0.3,
+                  fsync=False)
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**31))
+    def setup(self, seed):
+        self.dir = tempfile.mkdtemp(prefix="repro-durable-")
+        self.rng = np.random.default_rng(seed)
+        self.index = DurableUpdatableC2LSH(self.dir, **self.KWARGS)
+        self.base = {}       # live points folded into the last checkpoint
+        self.journal = []    # [(seqno, "insert"|"delete", payload)]
+
+    def teardown(self):
+        if hasattr(self, "index"):
+            self.index.close()
+        if hasattr(self, "dir"):
+            shutil.rmtree(self.dir, ignore_errors=True)
+
+    # -- the oracle ----------------------------------------------------------
+
+    def _replay(self, upto_seqno):
+        """Live points implied by ``base`` + journal records <= seqno."""
+        state = dict(self.base)
+        for seqno, kind, payload in self.journal:
+            if seqno > upto_seqno:
+                break
+            if kind == "insert":
+                state.update(payload)
+            else:
+                for handle in payload:
+                    state.pop(handle, None)
+        return state
+
+    @property
+    def oracle(self):
+        return self._replay(upto_seqno=2**62)
+
+    def _last_logged_seqno(self):
+        return self.index._wal.next_seqno - 1
+
+    # -- mutations -----------------------------------------------------------
+
+    @rule(count=st.integers(min_value=1, max_value=25))
+    def insert(self, count):
+        batch = self.rng.standard_normal((count, DIM)) * 5
+        handles = self.index.insert(batch)
+        self.journal.append((self._last_logged_seqno(), "insert",
+                             dict(zip(handles.tolist(), batch))))
+
+    @precondition(lambda self: len(self.oracle) > 3)
+    @rule(fraction=st.floats(min_value=0.1, max_value=0.5))
+    def delete_some(self, fraction):
+        live = sorted(self.oracle)
+        count = max(1, int(len(live) * fraction))
+        victims = [live[int(i)] for i in
+                   self.rng.choice(len(live), size=count, replace=False)]
+        self.index.delete(victims)
+        self.journal.append((self._last_logged_seqno(), "delete", victims))
+
+    @rule()
+    def checkpoint(self):
+        self.index.checkpoint()
+        self.base = self.oracle
+        self.journal = []
+
+    # -- crashes -------------------------------------------------------------
+
+    def _reopen(self):
+        self.index.close()
+        self.index = DurableUpdatableC2LSH(self.dir, **self.KWARGS)
+
+    def _check_recovered(self):
+        oracle = self.oracle
+        assert len(self.index) == len(oracle)
+        if oracle:
+            handles = np.array(sorted(oracle))
+            rows = np.vstack([oracle[h] for h in handles])
+            anchor = rows[int(self.rng.integers(0, len(rows)))]
+            query = anchor + 1e-4 * self.rng.standard_normal(DIM)
+            result = self.index.query(query, k=1)
+            true_handle = handles[
+                int(np.argmin(np.linalg.norm(rows - query, axis=1)))
+            ]
+            assert result.ids[0] == true_handle
+
+    @rule()
+    def crash_and_recover(self):
+        """A clean kill: every logged record is on disk."""
+        self._reopen()
+        self._check_recovered()
+
+    @rule(count=st.integers(min_value=1, max_value=10))
+    def killed_mid_append(self, count):
+        """FaultInjector tears the frame; the op must not survive."""
+        self.index._wal.fault_injector = FaultInjector(
+            FaultPlan((FaultRule("wal_append", "error"),)))
+        with pytest.raises(TransientIOError):
+            self.index.insert(self.rng.standard_normal((count, DIM)))
+        self._reopen()
+        self._check_recovered()
+
+    @rule(cut=st.floats(min_value=0.0, max_value=1.0))
+    def crash_at_arbitrary_byte(self, cut):
+        """Truncate the WAL mid-file; only intact frames survive."""
+        self.index.close()
+        path = self.index.wal_path
+        with open(path, "rb") as fh:
+            size = len(fh.read())
+        header = 16
+        offset = header + int(round(cut * (size - header)))
+        with open(path, "r+b") as fh:
+            fh.truncate(offset)
+        survived = scan_log(path).records
+        last = survived[-1].seqno if survived else -1
+        # Rolled-back records are gone for good; the survivors stay in
+        # the journal (they are still on disk, a later crash may cut
+        # deeper), and `base` still mirrors the on-disk checkpoint.
+        self.journal = [entry for entry in self.journal if entry[0] <= last]
+        self.index = DurableUpdatableC2LSH(self.dir, **self.KWARGS)
+        self._check_recovered()
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def live_count_matches(self):
+        if hasattr(self, "index"):
+            assert len(self.index) == len(self.oracle)
+
+
+TestDurableCrashRecovery = DurableCrashRecovery.TestCase
+TestDurableCrashRecovery.settings = settings(
+    max_examples=10, stateful_step_count=15, deadline=None,
 )
