@@ -39,6 +39,7 @@ from .reliability import (
     RetryPolicy,
     TransientIOError,
 )
+from .sharding import ShardedC2LSH, default_parallelism
 from .storage import PageManager
 
 __version__ = "1.0.0"
@@ -67,5 +68,7 @@ __all__ = [
     "TransientIOError",
     "CorruptIndexError",
     "DurableUpdatableC2LSH",
+    "ShardedC2LSH",
+    "default_parallelism",
     "__version__",
 ]

@@ -430,7 +430,12 @@ class C2LSH:
         looping :meth:`query`; only the throughput changes.
 
         ``n_jobs > 1`` verifies candidate distances on a thread pool (page
-        charging stays on the calling thread). ``budget`` applies a
+        charging stays on the calling thread); ``n_jobs=None`` resolves
+        through :func:`repro.sharding.default_parallelism` — the
+        repository's single parallel-width policy, ``min(available cpus,
+        batch size)`` — so the thread count is no longer implicit.
+        ``n_jobs=1`` (or a single-CPU box) keeps verification on the
+        calling thread. ``budget`` applies a
         :class:`repro.reliability.QueryBudget` to every query in the
         batch individually, with the same graceful-degradation semantics
         as :meth:`query`. With ``incremental=False`` (the A2 recount
@@ -441,6 +446,12 @@ class C2LSH:
         """
         self._require_fitted()
         queries = as_query_matrix(queries, self._data.shape[1])
+        if n_jobs is None and queries.shape[0] > 0:
+            # Lazy import: sharding.plan is a leaf module (os only), but
+            # importing it at module scope would tangle core <-> sharding.
+            from ..sharding.plan import default_parallelism
+
+            n_jobs = default_parallelism(limit=queries.shape[0])
         started = time.perf_counter()
         with trace.span("hash", queries=int(queries.shape[0])):
             all_ids = self._funcs.hash(self._hash_view(queries))

@@ -1,0 +1,697 @@
+"""ShardedC2LSH: a multi-core C2LSH engine with exact fan-out queries.
+
+The dataset is row-partitioned into ``S`` shards. Each shard holds a full
+C2LSH counting structure (its own sorted hash tables and data file) built
+over its rows — but all shards share *one* set of hash functions, one
+distance scale and one global ``(m, l)`` design, all derived from the full
+dataset exactly as :meth:`repro.core.c2lsh.C2LSH.fit` derives them. An
+object's collision count with a query depends only on its own hashes, so
+per-shard counts equal the unsharded counts restricted to the shard's
+rows.
+
+Queries run in **lockstep across shards**: every radius round fans out to
+all workers, and the coordinator applies the T1/T2/exhaustion/budget
+termination rules to the *union* of per-shard observations — the same
+decisions, in the same order, that the lockstep batch engine
+(:mod:`repro.core.batchengine`) applies to its global state. Merged
+candidates keep ascending-global-id order within each round (shards own
+contiguous row ranges, merged in shard order), so the final top-``k``
+selection sees the identical candidate array the unsharded index builds —
+results are **bit-identical**, ties included.
+
+Parallelism is process-based: ``n_workers`` persistent single-process
+pools, each owning a round-robin group of shards. The dataset is placed in
+:mod:`multiprocessing.shared_memory` once at ``fit`` time and every worker
+builds its shards over zero-copy slice views — no per-task pickling of the
+data matrix. ``n_workers=0`` runs the identical protocol in-process (no
+pools, no shared memory) so tests and small indexes pay no process
+overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..core.batchengine import MAX_ROUNDS, WithinRadiusTally
+from ..core.params import design_params
+from ..core.results import QueryResult, QueryStats
+from ..core.scaling import resolve_base_radius
+from ..hashing.pstable import PStableFamily
+from ..obs import trace
+from ..obs.registry import MetricsRegistry
+from ..reliability.faults import FaultPlan
+from ..storage.pages import DEFAULT_PAGE_SIZE
+from ..validation import as_data_matrix, as_query_matrix, as_query_vector
+from .plan import assign_shards, default_parallelism, shard_offsets
+from .worker import HostConfig, ShardHost, ShardSpec, _call_host, _init_host
+
+__all__ = ["ShardedC2LSH"]
+
+#: Query blocks are capped like the unsharded batch path, bounding every
+#: worker's ``(block, n_shard)`` working matrices.
+_BATCH_BLOCK = 1024
+
+
+class _SerialRunner:
+    """In-process execution of the worker protocol (``n_workers=0``).
+
+    ``order`` is a test hook: a permutation of host indices controlling
+    *execution* order. Results are always returned keyed by host index,
+    which is how the engine's merges stay independent of scheduling.
+    """
+
+    def __init__(self, configs, order=None):
+        self._hosts = [ShardHost(config) for config in configs]
+        self.order = order
+
+    def _sequence(self):
+        if self.order is None:
+            return range(len(self._hosts))
+        return self.order
+
+    def broadcast(self, method, *args):
+        results = [None] * len(self._hosts)
+        for i in self._sequence():
+            results[i] = getattr(self._hosts[i], method)(*args)
+        return results
+
+    def scatter(self, method, per_worker_args):
+        results = [None] * len(self._hosts)
+        for i in self._sequence():
+            results[i] = getattr(self._hosts[i], method)(
+                *per_worker_args[i])
+        return results
+
+    def close(self):
+        for host in self._hosts:
+            host.close()
+        self._hosts = []
+
+
+class _ProcessRunner:
+    """One persistent single-process pool per worker (shard affinity).
+
+    A plain multi-worker ``ProcessPoolExecutor`` routes tasks to arbitrary
+    idle workers; per-shard state (counting tables, live sessions) needs
+    every task for a shard to land on the process that owns it. One
+    executor per worker gives that affinity with stock library machinery.
+    """
+
+    def __init__(self, configs):
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1, mp_context=context,
+                                initializer=_init_host, initargs=(config,))
+            for config in configs
+        ]
+
+    def broadcast(self, method, *args):
+        futures = [pool.submit(_call_host, method, *args)
+                   for pool in self._pools]
+        return [f.result() for f in futures]
+
+    def scatter(self, method, per_worker_args):
+        futures = [pool.submit(_call_host, method, *args)
+                   for pool, args in zip(self._pools, per_worker_args)]
+        return [f.result() for f in futures]
+
+    def close(self):
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pools = []
+
+
+def _release_resources(runner, shm):
+    """Idempotent teardown shared by close(), GC and interpreter exit."""
+    if runner is not None:
+        try:
+            runner.close()
+        except Exception:
+            pass
+    if shm is not None:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+
+class ShardedC2LSH:
+    """Row-sharded C2LSH with parallel build and exact fan-out queries.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of row partitions (``S``).
+    n_workers:
+        Worker processes. ``None`` resolves to
+        ``min(available cpus, n_shards)`` via
+        :func:`repro.sharding.default_parallelism`; ``0`` runs everything
+        in-process (serial fallback — identical results, no process or
+        shared-memory overhead).
+    c, w, beta, delta, alpha, m, seed, rng, base_radius, data_layout:
+        As on :class:`repro.core.c2lsh.C2LSH`; the derived design
+        (``scale``, ``params``, hash functions) is computed from the
+        *full* dataset with the exact RNG consumption order of
+        ``C2LSH.fit``, so ``ShardedC2LSH(seed=s)`` answers queries
+        bit-identically to ``C2LSH(seed=s)`` over the same data.
+    use_t1:
+        Disable the T1 stopping rule (A4 ablation parity).
+    page_accounting:
+        Give every shard its own :class:`repro.storage.PageManager`;
+        per-query ``QueryStats.io_reads`` then reports the *sum* of pages
+        charged across shards.
+    page_size, page_latency_s:
+        Forwarded to the per-shard page managers; ``page_latency_s``
+        simulates a paged storage device (see
+        :class:`repro.storage.PageManager`).
+    fault_plan, fault_seed:
+        Optional :class:`repro.reliability.FaultPlan` (or its dict form)
+        installed on every shard's page manager, seeded per shard as
+        ``fault_seed + shard_id``.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` for the engine's ``shard.*``
+        counters and histograms; private registry when omitted.
+
+    The engine owns OS resources (worker processes, a shared-memory
+    segment); call :meth:`close` — or use it as a context manager — when
+    done. Queries after :meth:`close` raise ``RuntimeError``.
+    """
+
+    def __init__(self, n_shards=4, n_workers=None, *, c=2, w=None,
+                 beta=None, delta=0.01, alpha=None, m=None, seed=None,
+                 rng=None, base_radius="auto", data_layout="scattered",
+                 use_t1=True, page_accounting=False,
+                 page_size=DEFAULT_PAGE_SIZE, page_latency_s=0.0,
+                 fault_plan=None, fault_seed=0, metrics=None):
+        if int(n_shards) < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        if n_workers is None:
+            n_workers = default_parallelism(limit=self.n_shards)
+        if int(n_workers) < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        self.n_workers = min(int(n_workers), self.n_shards)
+        self._c = int(c)
+        self._w = w
+        self._beta = beta
+        self._delta = delta
+        self._alpha = alpha
+        self._m_override = m
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self._rng = rng
+        self._base_radius = base_radius
+        self._data_layout = data_layout
+        self._use_t1 = bool(use_t1)
+        self._page_accounting = bool(page_accounting)
+        self._page_size = int(page_size)
+        self._page_latency_s = float(page_latency_s)
+        if fault_plan is not None and isinstance(fault_plan, FaultPlan):
+            fault_plan = fault_plan.to_dict()
+        self._fault_plan = fault_plan
+        self._fault_seed = int(fault_seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+        self.params = None
+        self.build_info = None
+        self._data = None
+        self._funcs = None
+        self._family = None
+        self._scale = 1.0
+        self._offsets = None
+        self._shard_worker = None
+        self._runner = None
+        self._shm = None
+        self._finalizer = None
+        self._closed = False
+        self._session_ids = itertools.count()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def fit(self, data):
+        """Partition ``data``, build all shards in parallel; returns self.
+
+        The design phase (distance scale, ``(m, l)``, hash-function
+        sample) runs at the coordinator over the full dataset — the exact
+        computation :meth:`repro.core.c2lsh.C2LSH.fit` performs — and the
+        per-shard table builds fan out to the workers.
+        """
+        if self._runner is not None:
+            raise RuntimeError(
+                "engine is already fitted; create a new ShardedC2LSH"
+            )
+        data = as_data_matrix(data)
+        n, dim = data.shape
+        family = PStableFamily(dim, w=self._w, c=self._c)
+        scale = resolve_base_radius(self._base_radius, data, self._rng,
+                                    metric=family.metric)
+        params = design_params(n, family, c=self._c, beta=self._beta,
+                               delta=self._delta, alpha=self._alpha,
+                               m=self._m_override)
+        funcs = family.sample(params.m, self._rng)
+        self._assemble(data, family, funcs, params, scale)
+        return self
+
+    def _assemble(self, data, family, funcs, params, scale, offsets=None):
+        """Wire a prepared design into live shards (fit and load paths)."""
+        n = data.shape[0]
+        if self.n_shards > n:
+            raise ValueError(
+                f"cannot split {n} rows into {self.n_shards} shards"
+            )
+        self._family = family
+        self._funcs = funcs
+        self.params = params
+        self._scale = float(scale)
+        if offsets is None:
+            offsets = shard_offsets(n, self.n_shards)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        specs = [ShardSpec(s, int(self._offsets[s]),
+                           int(self._offsets[s + 1]))
+                 for s in range(self.n_shards)]
+        groups = assign_shards(self.n_shards, max(self.n_workers, 1))
+        self._shard_worker = {}
+        for w, group in enumerate(groups):
+            for s in group:
+                self._shard_worker[s] = w
+
+        serial = self.n_workers == 0
+        with trace.span("shard.build", shards=self.n_shards,
+                        workers=self.n_workers, n=int(n)):
+            common = dict(
+                shape=tuple(data.shape), dtype=str(data.dtype),
+                projections=funcs._projections, offsets=funcs._offsets,
+                funcs_w=funcs.w, family_w=family.w, scale=self._scale,
+                l=params.l, data_layout=self._data_layout,
+                page_accounting=self._page_accounting,
+                page_size=self._page_size,
+                page_latency_s=self._page_latency_s,
+                fault_plan=self._fault_plan, fault_seed=self._fault_seed,
+            )
+            if serial:
+                self._data = data
+                configs = [HostConfig(
+                    shards=tuple(specs[s] for s in group), data=data,
+                    **common,
+                ) for group in groups]
+                self._runner = _SerialRunner(configs)
+            else:
+                from multiprocessing import shared_memory
+
+                self._shm = shared_memory.SharedMemory(create=True,
+                                                       size=data.nbytes)
+                shared = np.ndarray(data.shape, dtype=data.dtype,
+                                    buffer=self._shm.buf)
+                shared[:] = data
+                self._data = shared
+                configs = [HostConfig(
+                    shards=tuple(specs[s] for s in group),
+                    shm_name=self._shm.name, **common,
+                ) for group in groups]
+                self._runner = _ProcessRunner(configs)
+            self._finalizer = weakref.finalize(
+                self, _release_resources, self._runner, self._shm)
+            started = time.perf_counter()
+            infos = self._runner.broadcast("build")
+            build_seconds = time.perf_counter() - started
+
+        self.build_info = {
+            "seconds": build_seconds,
+            "shards": {sid: info for worker in infos
+                       for sid, info in worker.items()},
+        }
+        self.metrics.gauge("shard.shards").set(self.n_shards)
+        self.metrics.gauge("shard.workers").set(self.n_workers)
+        self.metrics.histogram("shard.build.seconds").observe(build_seconds)
+
+    def close(self):
+        """Shut worker pools down and release the shared-memory segment."""
+        if self._finalizer is not None:
+            self._finalizer()
+        self._runner = None
+        self._shm = None
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def is_fitted(self):
+        """True once fit() has run and the engine is not closed."""
+        return self.params is not None and not self._closed
+
+    def _require_fitted(self):
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._runner is None:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+
+    @property
+    def n(self):
+        """Number of indexed objects across all shards."""
+        self._require_fitted()
+        return self._data.shape[0]
+
+    @property
+    def dim(self):
+        """Dimensionality of the indexed vectors."""
+        self._require_fitted()
+        return self._data.shape[1]
+
+    @property
+    def m(self):
+        """Number of hash functions (shared by every shard)."""
+        self._require_fitted()
+        return self.params.m
+
+    @property
+    def l(self):
+        """Collision-count threshold (shared by every shard)."""
+        self._require_fitted()
+        return self.params.l
+
+    @property
+    def base_radius(self):
+        """Distance unit: the radius the integer grid multiplies."""
+        self._require_fitted()
+        return self._scale
+
+    @property
+    def shard_boundaries(self):
+        """Row offsets: shard ``s`` owns ``[off[s], off[s+1])``."""
+        self._require_fitted()
+        return tuple(int(x) for x in self._offsets)
+
+    def io_totals(self):
+        """Cumulative (reads, writes) per shard since build."""
+        self._require_fitted()
+        merged = {}
+        for worker in self._runner.broadcast("io_totals"):
+            merged.update(worker)
+        return dict(sorted(merged.items()))
+
+    def telemetry_snapshot(self):
+        """The engine's ``shard.*`` metrics as one serializable dict."""
+        return self.metrics.snapshot()
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, query, k=1, budget=None):
+        """Answer one c-k-ANN query; returns a :class:`QueryResult`.
+
+        Identical ids/distances to the unsharded index — see the module
+        docstring for the equivalence argument. ``budget`` caps the
+        query's aggregate work (see :meth:`query_batch`).
+        """
+        self._require_fitted()
+        query = as_query_vector(query, self.dim)
+        return self.query_batch(query[None, :], k=k, budget=budget)[0]
+
+    def query_batch(self, queries, k=1, budget=None):
+        """Answer many queries with per-round shard fan-out.
+
+        Each worker advances the PR-1 lockstep batch engine over its own
+        shards; the coordinator merges every round's observations and
+        applies the global termination rules. ``budget`` (a
+        :class:`repro.reliability.QueryBudget`) applies to each query's
+        *shard-aggregated* totals — candidate counts and page I/O are
+        summed across shards and compared against the caps at round
+        boundaries, in the same cap order as the unsharded paths, so the
+        deterministic caps degrade identically to an unsharded index.
+        """
+        self._require_fitted()
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = as_query_matrix(queries, self.dim)
+        started = time.perf_counter()
+        with trace.span("shard.query_batch",
+                        queries=int(queries.shape[0]), k=int(k),
+                        shards=self.n_shards) as qspan:
+            with trace.span("hash", queries=int(queries.shape[0])):
+                hashed = queries if self._scale == 1.0 \
+                    else queries / self._scale
+                all_qids = self._funcs.hash(hashed)
+            results = []
+            for start in range(0, queries.shape[0], _BATCH_BLOCK):
+                stop = start + _BATCH_BLOCK
+                results.extend(self._drive_block(
+                    queries[start:stop], all_qids[start:stop], k,
+                    budget, started))
+            qspan.set(seconds=time.perf_counter() - started)
+        self.metrics.counter("shard.queries").inc(len(results))
+        self.metrics.histogram("shard.query_batch.seconds").observe(
+            time.perf_counter() - started)
+        return results
+
+    def _drive_block(self, queries, qids, k, budget, started):
+        """Drive one query block through the lockstep shard rounds.
+
+        The control flow mirrors :func:`repro.core.batchengine.batch_query`
+        decision for decision; only the counting/verification is remote.
+        """
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        params = self.params
+        n = self._data.shape[0]
+        target = min(n, k + params.false_positive_budget)  # T2 threshold
+        c = params.c
+        scale = self._scale
+        accounting = self._page_accounting
+
+        sid = next(self._session_ids)
+        self._runner.broadcast("batch_start", sid, queries, qids)
+
+        cand_ids = [[] for _ in range(n_queries)]
+        cand_dists = [[] for _ in range(n_queries)]
+        n_cand = np.zeros(n_queries, dtype=np.int64)
+        rounds = np.zeros(n_queries, dtype=np.int64)
+        final_radius = np.zeros(n_queries, dtype=np.int64)
+        scanned = np.zeros(n_queries, dtype=np.int64)
+        io_reads = np.zeros(n_queries, dtype=np.int64)
+        elapsed = np.zeros(n_queries, dtype=np.float64)
+        reason = [""] * n_queries
+        budget_cap = [""] * n_queries
+        tallies = ([WithinRadiusTally() for _ in range(n_queries)]
+                   if self._use_t1 else None)
+
+        try:
+            active = np.arange(n_queries)
+            radius = 1
+            round_no = 0
+            while active.size:
+                round_no += 1
+                with trace.span("shard.round", radius=int(radius),
+                                active=int(active.size)) as rspan:
+                    t_round = time.perf_counter()
+                    worker_payloads = self._runner.broadcast(
+                        "batch_round", sid, int(radius), active)
+                    self.metrics.counter("shard.fanout.tasks").inc(
+                        len(worker_payloads))
+                    payloads = sorted(
+                        (p for worker in worker_payloads for p in worker),
+                        key=lambda p: p.shard_id)
+
+                    rounds[active] += 1
+                    final_radius[active] = radius
+                    exhausted = np.ones(active.size, dtype=bool)
+                    for p in payloads:
+                        scanned[active] += p.scanned
+                        io_reads[active] += p.io_pages
+                        exhausted &= p.exhausted
+                        self.metrics.histogram(
+                            "shard.worker.seconds").observe(p.seconds)
+                        if p.qpos.size == 0:
+                            continue
+                        bounds = np.searchsorted(
+                            p.qpos, np.arange(active.size + 1))
+                        for i in np.flatnonzero(np.diff(bounds)):
+                            q = int(active[i])
+                            lo, hi = int(bounds[i]), int(bounds[i + 1])
+                            ids = p.ids[lo:hi]
+                            dists = p.dists[lo:hi]
+                            cand_ids[q].append(ids)
+                            cand_dists[q].append(dists)
+                            n_cand[q] += ids.size
+                            if tallies is not None:
+                                tallies[q].add(dists)
+
+                    # Global termination, in the batch engine's priority
+                    # order: T2, then T1, then exhaustion, then budget.
+                    t2 = n_cand[active] >= target
+                    t1 = np.zeros(active.size, dtype=bool)
+                    if tallies is not None:
+                        threshold = c * radius * scale
+                        for i in np.flatnonzero(~t2
+                                                & (n_cand[active] >= k)):
+                            q = int(active[i])
+                            t1[i] = tallies[q].count_within(threshold) >= k
+                    if round_no >= MAX_ROUNDS:
+                        exhausted[:] = True
+                    done = t2 | t1 | exhausted
+                    for i in np.flatnonzero(done):
+                        reason[active[i]] = ("T2" if t2[i]
+                                             else "T1" if t1[i]
+                                             else "exhausted")
+                    if budget is not None:
+                        cand_hit = np.zeros(active.size, dtype=bool) \
+                            if budget.max_candidates is None \
+                            else n_cand[active] >= budget.max_candidates
+                        io_hit = np.zeros(active.size, dtype=bool) \
+                            if budget.max_io_pages is None \
+                            or not accounting \
+                            else io_reads[active] >= budget.max_io_pages
+                        late = (budget.deadline_s is not None
+                                and time.perf_counter() - started
+                                >= budget.deadline_s)
+                        over = ~done & (cand_hit | io_hit | late)
+                        for i in np.flatnonzero(over):
+                            q = int(active[i])
+                            reason[q] = "budget"
+                            budget_cap[q] = ("candidates" if cand_hit[i]
+                                             else "io_pages" if io_hit[i]
+                                             else "deadline")
+                        done |= over
+                    finished = active[done]
+                    if finished.size:
+                        self._fallback(sid, finished, k, n_cand, cand_ids,
+                                       cand_dists, reason, io_reads)
+                        elapsed[finished] = time.perf_counter() - started
+                    self.metrics.counter("shard.rounds").inc()
+                    self.metrics.histogram("shard.round.seconds").observe(
+                        time.perf_counter() - t_round)
+                    rspan.set(finished=int(finished.size))
+                    active = active[~done]
+                    radius *= c
+        finally:
+            self._runner.broadcast("batch_end", sid)
+
+        results = []
+        for q in range(n_queries):
+            stats = QueryStats(
+                rounds=int(rounds[q]), final_radius=int(final_radius[q]),
+                candidates=int(n_cand[q]), scanned_entries=int(scanned[q]),
+                terminated_by=reason[q], elapsed_s=float(elapsed[q]),
+                degraded=bool(budget_cap[q]),
+                budget_exhausted=budget_cap[q],
+            )
+            if accounting:
+                stats.io_reads = int(io_reads[q])
+                self.metrics.counter("shard.io.pages").inc(int(io_reads[q]))
+            ids = (np.concatenate(cand_ids[q]) if cand_ids[q]
+                   else np.empty(0, dtype=np.int64))
+            dists = (np.concatenate(cand_dists[q]) if cand_dists[q]
+                     else np.empty(0))
+            results.append(QueryResult.from_candidates(ids, dists, k,
+                                                       stats))
+        return results
+
+    def _fallback(self, sid, finished, k, n_cand, cand_ids, cand_dists,
+                  reason, io_reads):
+        """Graceful fallback for terminated queries still short of ``k``.
+
+        Reproduces the unsharded order exactly: each shard nominates its
+        best-counted unverified objects, the coordinator merges them under
+        (collision count desc, global id asc) — the total order behind
+        ``argsort(-counts, kind="stable")`` — takes the global prefix, and
+        only the selected objects are verified.
+        """
+        fpb = self.params.false_positive_budget
+        requests = {int(q): int(k - n_cand[q]) + fpb
+                    for q in finished if n_cand[q] < k}
+        if not requests:
+            return
+        self.metrics.counter("shard.fallback.queries").inc(len(requests))
+        with trace.span("shard.fallback", queries=len(requests)):
+            nominations = self._runner.broadcast(
+                "fallback_candidates", sid, requests)
+            by_shard = {}
+            for worker in nominations:
+                by_shard.update(worker)
+
+            selected = {}
+            for q, need in requests.items():
+                gids, counts = [], []
+                for shard_id in sorted(by_shard):
+                    entry = by_shard[shard_id].get(q)
+                    if entry is not None:
+                        gids.append(entry[0])
+                        counts.append(entry[1])
+                if not gids:
+                    continue
+                gids = np.concatenate(gids)
+                counts = np.concatenate(counts)
+                order = np.lexsort((gids, -counts))[:need]
+                selected[q] = gids[order]
+
+            if not selected:
+                return
+            verify_req = [{} for _ in range(max(self.n_workers, 1))]
+            placements = {}
+            for q, gids in selected.items():
+                shard_of = np.searchsorted(self._offsets, gids,
+                                           side="right") - 1
+                placements[q] = shard_of
+                for shard_id in np.unique(shard_of):
+                    worker = self._shard_worker[int(shard_id)]
+                    verify_req[worker].setdefault(int(shard_id), {})[q] = \
+                        gids[shard_of == shard_id]
+            answers = self._runner.scatter(
+                "fallback_verify",
+                [(sid, req) for req in verify_req])
+            merged = {}
+            for worker in answers:
+                merged.update(worker)
+
+            for q, gids in selected.items():
+                dists = np.empty(gids.size, dtype=np.float64)
+                shard_of = placements[q]
+                for shard_id in np.unique(shard_of):
+                    shard_dists, io = merged[int(shard_id)][q]
+                    dists[shard_of == shard_id] = shard_dists
+                    io_reads[q] += io
+                cand_ids[q].append(gids)
+                cand_dists[q].append(dists)
+                n_cand[q] += gids.size
+                if reason[q] != "budget":
+                    reason[q] = "fallback"
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path):
+        """Persist the index + shard layout as a verified v2 container."""
+        from .persist import save_sharded
+
+        return save_sharded(self, path)
+
+    @classmethod
+    def load(cls, path, n_workers=None, **overrides):
+        """Load an engine saved by :meth:`save`; see
+        :func:`repro.sharding.load_sharded`."""
+        from .persist import load_sharded
+
+        return load_sharded(path, n_workers=n_workers, **overrides)
+
+    def __repr__(self):
+        if not self.is_fitted:
+            state = "closed" if self._closed else "unfitted"
+            return (f"ShardedC2LSH(shards={self.n_shards}, "
+                    f"workers={self.n_workers}, {state})")
+        return (f"ShardedC2LSH(n={self.n}, dim={self.dim}, "
+                f"shards={self.n_shards}, workers={self.n_workers}, "
+                f"m={self.params.m}, l={self.params.l})")

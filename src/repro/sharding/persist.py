@@ -1,0 +1,109 @@
+"""Persist sharded engines through the verified v2 container format.
+
+A sharded index is fully determined by the dataset, the *global* design
+(hash functions, parameters, distance scale — shared by every shard) and
+the shard layout, so one :func:`repro.core.persist.save_arrays` container
+of kind ``"sharded-c2lsh"`` captures it: atomic write, CRC32-verified
+load, :class:`~repro.reliability.CorruptIndexError` on damage. Per-shard
+hash tables are rebuilt on load — in parallel, by the restored engine's
+own workers — which is both cheaper than storing them and bit-identical
+because hashing is deterministic.
+
+Worker count is a *deployment* property, not an index property: the saved
+file records the shard layout, and ``load_sharded(n_workers=...)`` may
+restore it onto any worker width (including the serial fallback) without
+changing a single query answer. Fault plans are runtime attachments and
+are likewise not persisted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.params import C2LSHParams
+from ..core.persist import load_arrays, save_arrays
+from ..hashing.pstable import PStableFamily, PStableFunctions
+from .engine import ShardedC2LSH
+
+__all__ = ["save_sharded", "load_sharded"]
+
+_KIND = "sharded-c2lsh"
+
+
+def save_sharded(engine, path):
+    """Persist a fitted :class:`ShardedC2LSH` to ``path`` (``.npz``).
+
+    Atomic and checksummed like every v2 container; returns the path
+    written (``.npz`` appended when missing).
+    """
+    if not engine.is_fitted:
+        raise ValueError("cannot save an unfitted or closed engine")
+    if not isinstance(engine._family, PStableFamily):
+        raise TypeError(
+            "only engines over the default PStableFamily can be saved, "
+            f"got {type(engine._family).__name__}"
+        )
+    p = engine.params
+    return save_arrays(path, _KIND, {
+        "data": np.asarray(engine._data),
+        "projections": engine._funcs._projections,
+        "offsets": engine._funcs._offsets,
+        "funcs_w": engine._funcs.w,
+        "family_w": engine._family.w,
+        "scale": engine._scale,
+        "params": np.array([p.n, p.c, p.w, p.p1, p.p2, p.alpha, p.m, p.l,
+                            p.beta, p.delta]),
+        "shard_offsets": np.asarray(engine._offsets, dtype=np.int64),
+        "data_layout": np.array(engine._data_layout),
+        "use_t1": engine._use_t1,
+        "page_accounting": engine._page_accounting,
+        "page_size": engine._page_size,
+        "page_latency_s": engine._page_latency_s,
+        "fault_seed": engine._fault_seed,
+    })
+
+
+def load_sharded(path, n_workers=None, *, page_latency_s=None,
+                 fault_plan=None, metrics=None):
+    """Restore an engine written by :func:`save_sharded`.
+
+    Every array is verified against its recorded CRC32/dtype/shape;
+    damage raises :class:`~repro.reliability.CorruptIndexError` naming
+    the bad section. The shard layout is restored exactly as saved;
+    ``n_workers`` (default: auto width) chooses how the restored shards
+    are spread over processes. ``page_latency_s`` and ``fault_plan``
+    override/attach the runtime-only storage behaviors; ``metrics``
+    supplies the registry for the restored engine's ``shard.*`` metrics.
+    """
+    blob = load_arrays(path, _KIND)
+    data = np.ascontiguousarray(blob["data"])
+    raw = blob["params"]
+    params = C2LSHParams(
+        n=int(raw[0]), c=int(raw[1]), w=float(raw[2]), p1=float(raw[3]),
+        p2=float(raw[4]), alpha=float(raw[5]), m=int(raw[6]), l=int(raw[7]),
+        beta=float(raw[8]), delta=float(raw[9]),
+    )
+    scale = float(blob["scale"])
+    shard_off = np.asarray(blob["shard_offsets"], dtype=np.int64)
+    if page_latency_s is None:
+        page_latency_s = float(blob["page_latency_s"])
+
+    engine = ShardedC2LSH(
+        n_shards=shard_off.size - 1,
+        n_workers=n_workers,
+        c=params.c,
+        base_radius=scale,
+        data_layout=str(blob["data_layout"]),
+        use_t1=bool(blob["use_t1"]),
+        page_accounting=bool(blob["page_accounting"]),
+        page_size=int(blob["page_size"]),
+        page_latency_s=page_latency_s,
+        fault_plan=fault_plan,
+        fault_seed=int(blob["fault_seed"]),
+        metrics=metrics,
+    )
+    family = PStableFamily(data.shape[1], w=float(blob["family_w"]))
+    funcs = PStableFunctions(blob["projections"], blob["offsets"],
+                             float(blob["funcs_w"]))
+    engine._assemble(data, family, funcs, params, scale, offsets=shard_off)
+    return engine

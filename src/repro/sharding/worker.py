@@ -1,0 +1,333 @@
+"""Shard-side execution: per-process shard state and lockstep round tasks.
+
+A worker process (or the in-process serial runner) hosts one or more
+*shards* — contiguous row ranges of the dataset, each with its own
+:class:`~repro.core.counting.CollisionCounter`, :class:`~repro.storage.
+DataFile` and :class:`~repro.storage.PageManager`. The dataset itself is
+never pickled per task: process workers attach a
+:mod:`multiprocessing.shared_memory` segment the coordinator filled once,
+and every shard index is built over a zero-copy slice view of it.
+
+The protocol is deliberately thin. The coordinator
+(:class:`repro.sharding.ShardedC2LSH`) owns *all* termination logic; a
+worker only ever executes one radius round (or one fallback step) for the
+shards it hosts and reports raw per-query observations back. That split is
+what makes the sharded engine bit-identical to the unsharded index: the
+same global T1/T2/exhaustion/budget decisions are applied to the union of
+per-shard observations that the lockstep batch engine applies to its own.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batchengine import BatchQueryCounter
+from ..core.counting import CollisionCounter
+from ..hashing.pstable import PStableFamily, PStableFunctions
+from ..reliability.faults import FaultInjector, FaultPlan
+from ..storage.datafile import DataFile
+from ..storage.pages import PageManager
+
+__all__ = ["ShardSpec", "HostConfig", "ShardHost", "RoundPayload"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity: its id and global row range ``[start, stop)``."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Everything a worker needs to build its shards (picklable).
+
+    ``shm_name`` names a shared-memory segment holding the full dataset;
+    when ``None`` (serial runner, or spawn-less fallbacks) ``data`` carries
+    the matrix directly. ``projections``/``offsets``/``funcs_w`` are the
+    *global* hash functions every shard shares — sampling them once at the
+    coordinator is what makes per-shard collision counts equal the
+    unsharded index's counts restricted to the shard's rows.
+    """
+
+    shards: tuple
+    shape: tuple
+    dtype: str
+    shm_name: str | None = None
+    data: object = None
+    projections: object = None
+    offsets: object = None
+    funcs_w: float = 1.0
+    family_w: float = 1.0
+    scale: float = 1.0
+    l: int = 1
+    data_layout: str = "scattered"
+    page_accounting: bool = False
+    page_size: int = 4096
+    page_latency_s: float = 0.0
+    fault_plan: object = None
+    fault_seed: int = 0
+    incremental: bool = True
+
+
+@dataclass
+class RoundPayload:
+    """One shard's observations for one radius round.
+
+    ``qpos`` indexes into the round's *active* array; ``ids`` are global
+    object ids (shard offset already applied) sorted ascending within each
+    query, exactly the order the unsharded engine verifies them in.
+    """
+
+    shard_id: int
+    qpos: np.ndarray
+    ids: np.ndarray
+    dists: np.ndarray
+    scanned: np.ndarray
+    io_pages: np.ndarray
+    exhausted: np.ndarray
+    seconds: float = 0.0
+
+
+@dataclass
+class _Session:
+    """Per-(shard, batch) lockstep state, kept between rounds."""
+
+    counter: BatchQueryCounter
+    queries: np.ndarray
+    is_candidate: np.ndarray = field(default=None)
+
+
+class _ShardIndex:
+    """One shard: counting tables + data file over a zero-copy row slice."""
+
+    def __init__(self, spec, data_slice, funcs, config):
+        self.spec = spec
+        self.offset = spec.start
+        self.n = data_slice.shape[0]
+        pm = None
+        if config.page_accounting:
+            injector = None
+            if config.fault_plan is not None:
+                # Per-shard seeds keep fault schedules independent across
+                # shards while staying deterministic for a fixed layout.
+                injector = FaultInjector(
+                    FaultPlan.from_dict(config.fault_plan),
+                    seed=config.fault_seed + spec.shard_id,
+                )
+            pm = PageManager(page_size=config.page_size,
+                             page_latency_s=config.page_latency_s,
+                             fault_injector=injector)
+        self.pm = pm
+        self.family = PStableFamily(data_slice.shape[1], w=config.family_w)
+        started = time.perf_counter()
+        hashed = data_slice if config.scale == 1.0 \
+            else data_slice / config.scale
+        self.counter = CollisionCounter(funcs.hash(hashed), pm)
+        self.datafile = DataFile(data_slice, pm, layout=config.data_layout)
+        self.build_seconds = time.perf_counter() - started
+
+    def io_totals(self):
+        if self.pm is None:
+            return (0, 0)
+        return (self.pm.stats.reads, self.pm.stats.writes)
+
+
+class ShardHost:
+    """All shards hosted by one worker, plus their live batch sessions.
+
+    Construction only attaches the data (shared memory or direct array);
+    :meth:`build` does the actual index construction so the coordinator
+    can time the parallel build phase.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self._shm = None
+        if config.shm_name is not None:
+            from multiprocessing import shared_memory
+
+            # Attaching re-registers the segment with the resource
+            # tracker, but pool children inherit the coordinator's tracker
+            # process and its cache is a name-keyed set, so this is
+            # idempotent; the coordinator's unlink() removes the single
+            # entry. (Unregistering here instead would yank that entry
+            # and make the coordinator's unlink die in the tracker.)
+            self._shm = shared_memory.SharedMemory(name=config.shm_name)
+            self._full = np.ndarray(config.shape, dtype=config.dtype,
+                                    buffer=self._shm.buf)
+        else:
+            self._full = np.asarray(config.data)
+        self._shards = {}
+        self._sessions = {}
+
+    # -- build ---------------------------------------------------------------
+
+    def build(self):
+        """Build every hosted shard; returns per-shard build info."""
+        funcs = PStableFunctions(self.config.projections,
+                                 self.config.offsets, self.config.funcs_w)
+        info = {}
+        for spec in self.config.shards:
+            shard = _ShardIndex(spec, self._full[spec.start:spec.stop],
+                                funcs, self.config)
+            self._shards[spec.shard_id] = shard
+            reads, writes = shard.io_totals()
+            info[spec.shard_id] = {
+                "n": shard.n,
+                "seconds": shard.build_seconds,
+                "io_writes": writes,
+            }
+        return info
+
+    # -- batch session protocol ---------------------------------------------
+
+    def batch_start(self, session_id, queries, qids):
+        """Open a lockstep session for a ``(Q, dim)`` query block."""
+        for shard in self._shards.values():
+            self._sessions[(session_id, shard.spec.shard_id)] = _Session(
+                counter=BatchQueryCounter(shard.counter, qids),
+                queries=queries,
+                is_candidate=np.zeros((queries.shape[0], shard.n),
+                                      dtype=bool),
+            )
+        return True
+
+    def batch_round(self, session_id, radius, active):
+        """Advance every hosted shard one radius round for ``active``.
+
+        Returns one :class:`RoundPayload` per shard. Counting, threshold
+        crossing and verification mirror one round of
+        :func:`repro.core.batchengine.batch_query` exactly, restricted to
+        the shard's rows.
+        """
+        payloads = []
+        for shard_id in sorted(self._shards):
+            shard = self._shards[shard_id]
+            session = self._sessions[(session_id, shard_id)]
+            started = time.perf_counter()
+            scanned, pages = session.counter.expand(radius, active)
+            io_pages = (pages if pages is not None
+                        else np.zeros(active.size, dtype=np.int64))
+            qpos, fresh = session.counter.crossings(self.config.l)
+            dists = np.empty(fresh.size, dtype=np.float64)
+            if fresh.size:
+                bounds = np.searchsorted(qpos, np.arange(active.size + 1))
+                for i in range(active.size):
+                    s, e = int(bounds[i]), int(bounds[i + 1])
+                    if e <= s:
+                        continue
+                    ids = fresh[s:e]
+                    vecs, io = self._read(shard, ids)
+                    io_pages[i] += io
+                    dists[s:e] = shard.family.distance(
+                        vecs, session.queries[active[i]])
+                    session.is_candidate[active[i], ids] = True
+            payloads.append(RoundPayload(
+                shard_id=shard_id,
+                qpos=qpos,
+                ids=fresh + shard.offset,
+                dists=dists,
+                scanned=scanned,
+                io_pages=io_pages,
+                exhausted=session.counter.exhausted_mask(active),
+                seconds=time.perf_counter() - started,
+            ))
+        return payloads
+
+    def fallback_candidates(self, session_id, requests):
+        """Best-counted unverified objects per query, for the global merge.
+
+        ``requests`` maps query index → how many fallback candidates the
+        coordinator may still take. Each shard returns its top slice under
+        the unsharded fallback order — collision count descending, global
+        id ascending — so the coordinator's k-way merge reproduces
+        ``argsort(-counts, kind="stable")`` over the whole database.
+        """
+        out = {}
+        for shard_id in sorted(self._shards):
+            shard = self._shards[shard_id]
+            session = self._sessions[(session_id, shard_id)]
+            per_query = {}
+            for q, need in requests.items():
+                remaining = np.flatnonzero(~session.is_candidate[q])
+                if remaining.size == 0:
+                    continue
+                counts = session.counter.counts[q, remaining]
+                order = np.argsort(-counts, kind="stable")[:int(need)]
+                per_query[q] = (remaining[order] + shard.offset,
+                                counts[order].astype(np.int64))
+            out[shard_id] = per_query
+        return out
+
+    def fallback_verify(self, session_id, requests):
+        """Verify globally selected fallback ids; returns dists + I/O.
+
+        ``requests`` maps shard id → {query → global ids}, each id list in
+        the coordinator's merged order.
+        """
+        out = {}
+        for shard_id, per_query in requests.items():
+            shard = self._shards[shard_id]
+            session = self._sessions[(session_id, shard_id)]
+            answers = {}
+            for q, gids in per_query.items():
+                ids = np.asarray(gids, dtype=np.int64) - shard.offset
+                vecs, io = self._read(shard, ids)
+                answers[q] = (shard.family.distance(vecs,
+                                                    session.queries[q]), io)
+            out[shard_id] = answers
+        return out
+
+    def batch_end(self, session_id):
+        """Drop the session's per-shard state."""
+        for shard_id in self._shards:
+            self._sessions.pop((session_id, shard_id), None)
+        return True
+
+    # -- introspection -------------------------------------------------------
+
+    def io_totals(self):
+        """Cumulative (reads, writes) per hosted shard."""
+        return {sid: shard.io_totals()
+                for sid, shard in self._shards.items()}
+
+    def close(self):
+        """Drop all shard state and detach the shared-memory view."""
+        self._shards.clear()
+        self._sessions.clear()
+        self._full = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        return True
+
+    @staticmethod
+    def _read(shard, ids):
+        """Data-file read returning (vectors, pages charged)."""
+        if shard.pm is None:
+            return shard.datafile.read(ids), 0
+        before = shard.pm.stats.reads
+        vecs = shard.datafile.read(ids)
+        return vecs, shard.pm.stats.reads - before
+
+
+# -- process-pool entry points (module-level for picklability) ---------------
+
+_HOST = None
+
+
+def _init_host(config):
+    """ProcessPoolExecutor initializer: build this worker's ShardHost."""
+    global _HOST
+    _HOST = ShardHost(config)
+
+
+def _call_host(method, *args):
+    """Dispatch one task to the process-global host."""
+    return getattr(_HOST, method)(*args)
