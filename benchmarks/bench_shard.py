@@ -36,6 +36,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import C2LSH, ShardedC2LSH  # noqa: E402
+from repro.kernels import active_backend  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
 
 
@@ -149,6 +150,7 @@ def main(argv=None):
                         "CPU work still serializes on few-core hosts",
             },
         },
+        "kernels": active_backend(),
         "sweep": sweep,
         "identical_results": all(e["identical_results"] for e in sweep),
         "smoke": args.smoke,

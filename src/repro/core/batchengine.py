@@ -36,8 +36,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .. import kernels
+from ..kernels import row_searchsorted
 from ..obs import trace
-from ..storage.vsearch import row_searchsorted
 from .results import QueryResult, QueryStats
 
 __all__ = ["BatchQueryCounter", "WithinRadiusTally", "batch_query",
@@ -50,12 +51,9 @@ MAX_ROUNDS = 64
 #: Rounds touching more than ``A * m * n / _DENSE_CUTOVER`` entries use the
 #: dense rank-comparison counting kernel; lighter rounds gather the newly
 #: covered entries instead. Calibrated from the measured per-cell vs
-#: per-entry cost ratio of the two kernels (~7x).
+#: per-entry cost ratio of the two kernels (~7x). Shared across kernel
+#: tiers so both walk identical code paths.
 _DENSE_CUTOVER = 6
-
-#: Entries per chunk of the sparse gather: keeps temporaries small enough
-#: for the allocator to recycle instead of faulting fresh pages.
-_GATHER_CHUNK = 1 << 21
 
 
 class WithinRadiusTally:
@@ -81,13 +79,11 @@ class WithinRadiusTally:
         """Record freshly verified distances (any order)."""
         distances = np.asarray(distances, dtype=np.float64)
         if distances.size:
-            merged = np.concatenate((self._pending, np.sort(distances)))
-            merged.sort(kind="stable")  # timsort merges the two runs in O(n)
-            self._pending = merged
+            self._pending = kernels.merge_sorted(self._pending, distances)
 
     def count_within(self, threshold):
         """Total recorded distances ``<= threshold``."""
-        cut = int(np.searchsorted(self._pending, threshold, side="right"))
+        cut = kernels.count_leq(self._pending, threshold)
         if cut:
             self._within += cut
             self._pending = self._pending[cut:]
@@ -220,44 +216,22 @@ class BatchQueryCounter:
         By interval nesting these equal the incrementally accumulated
         counts: object ``o`` collides with query ``i`` in table ``j`` iff
         its position ``rank[j, o]`` lies in ``[lo[i, j], hi[i, j])``.
+        Runs on the active kernel tier.
         """
-        rank = self._index.rank
-        new = np.empty((lo.shape[0], self._index.n), dtype=np.int32)
-        for i in range(lo.shape[0]):
-            new[i] = ((rank >= lo[i][:, None])
-                      & (rank < hi[i][:, None])).sum(axis=0, dtype=np.int32)
-        return new
+        return kernels.dense_counts(self._index.rank, lo, hi)
 
     def _sparse_add(self, active, seg_q, seg_t, seg_lo, lengths):
-        """Gather newly covered entries and bincount them onto the counts.
+        """Gather newly covered entries and accumulate them onto the counts.
 
-        Processes segments in ~2M-entry chunks so the flat position/object
-        temporaries stay allocator-friendly. One bincount per chunk over
-        flat ``(query, object)`` pair codes replaces per-query bincounts.
+        Delegated to the kernel tier's sparse accumulate: the numpy
+        fallback bincounts query-banded chunks into one reused ``A * n``
+        buffer, the numba tier prange-accumulates segments directly into a
+        preallocated ``(A, n)`` matrix. Both add the identical integer
+        deltas.
         """
-        n = self._index.n
-        A = active.size
-        order = self._index.order
-        delta_flat = np.zeros(A * n, dtype=np.int64)
-        ends = np.cumsum(lengths)
-        n_segments = lengths.size
-        start = 0
-        while start < n_segments:
-            base = int(ends[start - 1]) if start else 0
-            # Largest run of whole segments fitting the chunk budget; an
-            # oversized single segment still goes through alone.
-            stop = int(np.searchsorted(ends, base + _GATHER_CHUNK,
-                                       side="right"))
-            stop = min(max(stop, start + 1), n_segments)
-            lens = lengths[start:stop]
-            local_starts = np.cumsum(lens) - lens
-            pos = (np.repeat(seg_lo[start:stop] - local_starts, lens)
-                   + np.arange(int(lens.sum())))
-            flat = (np.repeat(seg_q[start:stop] * np.int64(n), lens)
-                    + order[np.repeat(seg_t[start:stop], lens), pos])
-            delta_flat += np.bincount(flat, minlength=A * n)
-            start = stop
-        self.counts[active] += delta_flat.reshape(A, n).astype(np.int32)
+        delta = kernels.sparse_counts(self._index.order, seg_q, seg_t,
+                                      seg_lo, lengths, active.size)
+        self.counts[active] += delta
 
     def crossings(self, threshold):
         """``(query, object)`` pairs that crossed ``threshold`` last round.
@@ -269,9 +243,8 @@ class BatchQueryCounter:
         if self._last_prev is None:
             return (np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.int64))
-        counts = self.counts[self._last_active]
-        crossed = (counts >= threshold) & (self._last_prev < threshold)
-        return np.nonzero(crossed)
+        return kernels.crossings(self.counts[self._last_active],
+                                 self._last_prev, threshold)
 
     def exhausted_mask(self, active):
         """Per-active-query flag: every table already covers all entries."""
@@ -358,7 +331,8 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     pool = (ThreadPoolExecutor(max_workers=int(n_jobs))
             if n_jobs is not None and int(n_jobs) > 1 else None)
     try:
-        with trace.span("batch_block", queries=int(n_queries), k=int(k)):
+        with trace.span("batch_block", queries=int(n_queries), k=int(k),
+                        kernels=kernels.backend_name()):
             active = np.arange(n_queries)
             radius = 1
             round_no = 0

@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from ..hashing.pstable import PStableFamily
+from ..kernels import backend_name as _kernels_backend
 from ..obs import trace
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from ..storage.datafile import DataFile
@@ -184,7 +185,8 @@ class C2LSH:
         self._require_fitted()
         query = as_query_vector(query, self._data.shape[1])
         started = time.perf_counter()
-        with trace.span("query", k=int(k)) as qspan:
+        with trace.span("query", k=int(k),
+                        kernels=_kernels_backend()) as qspan:
             with trace.span("hash"):
                 qids = self._funcs.hash(self._hash_view(query))
             return self._query_hashed(query, qids, k, started=started,

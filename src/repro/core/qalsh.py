@@ -26,10 +26,11 @@ import time
 import numpy as np
 from scipy.special import ndtr
 
+from .. import kernels
 from ..hashing.pstable import PStableFamily
+from ..kernels import row_searchsorted
 from ..obs import trace
 from ..storage.hashfile import ENTRY_BYTES
-from ..storage.vsearch import row_searchsorted
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from .scaling import resolve_base_radius
 from .params import optimal_alpha, required_m
@@ -166,7 +167,8 @@ class QALSH:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         started = time.perf_counter()
-        with trace.span("query", k=int(k), index="qalsh") as qspan:
+        with trace.span("query", k=int(k), index="qalsh",
+                        kernels=kernels.backend_name()) as qspan:
             return self._traced_query(query, k, started, qspan, budget)
 
     def _traced_query(self, query, k, started, qspan, budget=None):
@@ -222,8 +224,7 @@ class QALSH:
                 if touched:
                     touched = np.concatenate(touched)
                     stats.scanned_entries += int(touched.size)
-                    delta = np.bincount(touched,
-                                        minlength=n).astype(np.int32)
+                    delta = kernels.bincount_i32(touched, n)
                     counts += delta
                     fresh = np.flatnonzero(
                         (counts >= self.l) & (counts - delta < self.l)

@@ -30,6 +30,7 @@ from ..core import C2LSH, QALSH, design_params
 from ..data import exact_knn, gaussian_clusters, load_profile, split_queries
 from ..data.profiles import PROFILES, Dataset
 from ..hashing import PStableFamily
+from ..kernels import active_backend
 from ..obs import SnapshotSink, trace, tracing
 from ..storage import DEFAULT_PAGE_SIZE, PageManager
 from .reporting import Table
@@ -101,8 +102,13 @@ def _save_metrics(args, stem):
     for sink in tr.sinks:
         if isinstance(sink, SnapshotSink):
             path = os.path.join(args.out_dir, f"{stem}_metrics.json")
+            snapshot = sink.snapshot()
+            # Which kernel tier produced these numbers (alongside the
+            # numeric kernels.numba gauge the sink itself records), so
+            # metrics from mixed environments are attributable.
+            snapshot["kernels"] = active_backend()
             with open(path, "w") as fh:
-                json.dump(sink.snapshot(), fh, indent=2, sort_keys=True)
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
             return
 
 

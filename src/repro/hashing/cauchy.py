@@ -25,6 +25,7 @@ import math
 import numpy as np
 from scipy.optimize import minimize_scalar
 
+from ..kernels import manhattan_distances
 from .family import LSHFamily, LSHFunctions
 
 __all__ = ["CauchyFamily", "CauchyFunctions",
@@ -129,9 +130,9 @@ class CauchyFamily(LSHFamily):
         return cauchy_collision_probability(s, self.w)
 
     def distance(self, points, query):
-        points = np.asarray(points, dtype=np.float64)
-        query = np.asarray(query, dtype=np.float64)
-        return np.abs(points - query).sum(axis=1)
+        # Kernel-tier verification: the deterministic fold reduction keeps
+        # numpy and numba tiers bit-identical (see repro.kernels).
+        return manhattan_distances(points, query)
 
     def __repr__(self):
         return f"CauchyFamily(dim={self.dim}, w={self.w:.4g})"

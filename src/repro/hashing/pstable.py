@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import euclidean_distances
 from .family import LSHFamily, LSHFunctions
 from .probability import choose_w, pstable_collision_probability
 
@@ -92,10 +93,9 @@ class PStableFamily(LSHFamily):
         return pstable_collision_probability(s, self.w)
 
     def distance(self, points, query):
-        points = np.asarray(points, dtype=np.float64)
-        query = np.asarray(query, dtype=np.float64)
-        diff = points - query
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        # Kernel-tier verification: the deterministic fold reduction keeps
+        # numpy and numba tiers bit-identical (see repro.kernels).
+        return euclidean_distances(points, query)
 
     def __repr__(self):
         return f"PStableFamily(dim={self.dim}, w={self.w:.4g})"

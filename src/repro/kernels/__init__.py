@@ -1,0 +1,185 @@
+"""Compiled counting-kernel tier with a bit-identical pure-numpy fallback.
+
+The five primitives that dominate C2LSH query wall-clock — lockstep
+row-wise binary search, dense rank-comparison counting, sparse
+gather/accumulate, threshold scans (crossings + the T1 tally), and
+candidate distance verification — are implemented twice:
+
+* :mod:`repro.kernels._numpy` — vectorized numpy, the reference tier and
+  the specification of every kernel's exact result;
+* :mod:`repro.kernels._numba` — numba-jitted loops (the optional ``fast``
+  extra: ``pip install repro[fast]``), operation-for-operation identical.
+
+:mod:`repro.kernels.backend` selects the tier once at import —
+``REPRO_KERNELS=numpy|numba`` forces it, ``numba`` requested-but-missing
+raises — and :func:`active_backend` reports the selection for telemetry
+and benchmark stamping. The wrappers below carry the shared validation and
+dtype normalization so both tiers see identical inputs; call sites
+(:mod:`repro.core.batchengine`, :mod:`repro.core.counting`,
+:mod:`repro.core.c2lsh`, :mod:`repro.core.qalsh`,
+:mod:`repro.storage.vsearch`, :mod:`repro.sharding.worker`) route every
+hot call through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import backend
+from .backend import (KernelBackendError, active_backend, backend_name,
+                      reselect, select)
+
+__all__ = [
+    "KernelBackendError", "active_backend", "backend_name", "reselect",
+    "select", "row_searchsorted", "dense_counts", "sparse_counts",
+    "crossings", "count_leq", "merge_sorted", "bincount_i32",
+    "euclidean_distances", "manhattan_distances", "warmup",
+]
+
+
+def row_searchsorted(sorted_rows, targets, side="left"):
+    """Insertion positions of ``targets[..., i]`` within ``sorted_rows[i]``.
+
+    Parameters
+    ----------
+    sorted_rows:
+        ``(m, n)`` array, each row sorted ascending.
+    targets:
+        ``(m,)`` array of per-row search keys, or ``(..., m)`` — most
+        usefully ``(Q, m)`` — to search every row with a whole batch of
+        keys at once. Row ``i`` always answers ``targets[..., i]``.
+    side:
+        ``"left"`` (first position with ``row[pos] >= target``) or
+        ``"right"`` (first position with ``row[pos] > target``), matching
+        ``numpy.searchsorted`` semantics.
+
+    Returns
+    -------
+    numpy.ndarray of int64, same shape as ``targets``, values in ``[0, n]``.
+    """
+    sorted_rows = np.asarray(sorted_rows)
+    targets = np.asarray(targets)
+    if sorted_rows.ndim != 2:
+        raise ValueError(f"sorted_rows must be 2-D, got {sorted_rows.shape}")
+    m, n = sorted_rows.shape
+    if targets.ndim == 0 or targets.shape[-1] != m:
+        raise ValueError(
+            f"targets must have shape (..., {m}), got {targets.shape}"
+        )
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if n == 0:
+        return np.zeros(targets.shape, dtype=np.int64)
+    flat = targets.reshape(-1, m)
+    out = backend.active().row_searchsorted(sorted_rows, flat,
+                                            side == "left")
+    return out.reshape(targets.shape)
+
+
+def dense_counts(rank, lo, hi):
+    """Absolute collision counts at the covered intervals, ``(A, n)`` int32.
+
+    ``rank`` is the ``(m, n)`` per-table sort position of every object;
+    ``lo``/``hi`` are ``(A, m)`` covered position intervals. Object ``o``
+    is counted for query ``i`` once per table ``j`` with
+    ``lo[i, j] <= rank[j, o] < hi[i, j]``.
+    """
+    rank = np.asarray(rank)
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    return backend.active().dense_counts(rank, lo, hi)
+
+
+def sparse_counts(order, seg_q, seg_t, seg_lo, lengths, n_queries):
+    """Collision-count deltas from newly covered segments, ``(A, n)`` int32.
+
+    Segment ``s`` adds one count to ``(seg_q[s], order[seg_t[s], p])`` for
+    each position ``p`` in ``[seg_lo[s], seg_lo[s] + lengths[s])``; the
+    result accumulates every segment over an ``(n_queries, n)`` zero
+    matrix. Accumulation is exact integer arithmetic, so both tiers agree
+    whatever their internal order.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    seg_q = np.asarray(seg_q, dtype=np.int64)
+    seg_t = np.asarray(seg_t, dtype=np.int64)
+    seg_lo = np.asarray(seg_lo, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return backend.active().sparse_counts(order, seg_q, seg_t, seg_lo,
+                                          lengths, int(n_queries))
+
+
+def crossings(counts, prev, threshold):
+    """``(qs, ids)`` where ``counts >= threshold`` but ``prev < threshold``.
+
+    Row-major (query then ascending object), both int64 — the order the
+    sequential path verifies fresh candidates in.
+    """
+    counts = np.asarray(counts)
+    prev = np.asarray(prev)
+    return backend.active().crossings(counts, prev, int(threshold))
+
+
+def count_leq(sorted_values, threshold):
+    """Number of elements ``<= threshold`` in an ascending float64 array."""
+    sorted_values = np.asarray(sorted_values, dtype=np.float64)
+    return backend.active().count_leq(sorted_values, float(threshold))
+
+
+def merge_sorted(sorted_values, new_values):
+    """Merge ``new_values`` (any order) into ascending ``sorted_values``."""
+    sorted_values = np.asarray(sorted_values, dtype=np.float64)
+    new_values = np.sort(np.asarray(new_values, dtype=np.float64))
+    return backend.active().merge_sorted(sorted_values, new_values)
+
+
+def bincount_i32(ids, n):
+    """Occurrences of each id in ``[0, n)``, as int32 (collision deltas)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    return backend.active().bincount_i32(ids, int(n))
+
+
+def euclidean_distances(points, query):
+    """Euclidean distances from each row of ``(n, d)`` points to ``query``.
+
+    Reduced with a fixed balanced fold tree (see
+    :func:`repro.kernels._numpy._fold_sum`) so both tiers produce
+    bit-identical float64 results.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    return backend.active().euclidean_distances(points, query)
+
+
+def manhattan_distances(points, query):
+    """Manhattan (l1) distances from each row of ``(n, d)`` to ``query``."""
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    return backend.active().manhattan_distances(points, query)
+
+
+def warmup():
+    """Exercise every kernel on tiny inputs; returns :func:`active_backend`.
+
+    On the numba tier this triggers (or loads from cache) every JIT
+    compilation, so benchmarks calling it before their timed region
+    exclude compile cost. Covers both the int64 and float64
+    specializations of the search kernel.
+    """
+    ids = np.array([[0, 2, 4, 6]], dtype=np.int64)
+    row_searchsorted(ids, np.array([[3]], dtype=np.int64))
+    row_searchsorted(ids.astype(np.float64),
+                     np.array([[3.0]]), side="right")
+    rank = np.array([[0, 1, 2, 3]], dtype=np.int32)
+    dense_counts(rank, np.zeros((1, 1), np.int64),
+                 np.full((1, 1), 2, np.int64))
+    order = np.array([[2, 0, 3, 1]], dtype=np.int64)
+    sparse_counts(order, np.zeros(1, np.int64), np.zeros(1, np.int64),
+                  np.zeros(1, np.int64), np.full(1, 2, np.int64), 1)
+    crossings(np.array([[2, 0]], np.int32), np.array([[0, 0]], np.int32), 1)
+    count_leq(np.array([0.0, 1.0]), 0.5)
+    merge_sorted(np.array([0.0, 2.0]), np.array([1.0]))
+    bincount_i32(np.array([0, 1, 1], np.int64), 3)
+    pts = np.array([[1.0, 2.0, 3.0]])
+    euclidean_distances(pts, np.zeros(3))
+    manhattan_distances(pts, np.zeros(3))
+    return active_backend()

@@ -1,0 +1,239 @@
+"""Numba-jitted kernel tier: compiled hot loops, bit-identical to numpy.
+
+Importing this module requires numba (the ``fast`` extra); the backend
+selector only imports it after a successful ``import numba`` probe. Every
+function mirrors its counterpart in :mod:`repro.kernels._numpy` operation
+for operation — integer kernels are exact by nature, and the distance
+kernels perform the identical balanced-fold addition tree
+(:func:`repro.kernels._numpy._fold_sum`) so float64 results match bit for
+bit.
+
+Compilation is lazy (first call per dtype specialization) and cached on
+disk where possible; :func:`repro.kernels.warmup` exercises every kernel
+on tiny inputs so benchmarks can exclude JIT cost from timed regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+
+@njit(cache=True, parallel=True)
+def _row_searchsorted(sorted_rows, targets, side_left):
+    B, m = targets.shape
+    n = sorted_rows.shape[1]
+    out = np.empty((B, m), dtype=np.int64)
+    for b in prange(B):
+        for j in range(m):
+            t = targets[b, j]
+            lo = 0
+            hi = n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                v = sorted_rows[j, mid]
+                if side_left:
+                    go_right = v < t
+                else:
+                    go_right = v <= t
+                if go_right:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out[b, j] = lo
+    return out
+
+
+def row_searchsorted(sorted_rows, targets, side_left):
+    """Core lockstep binary search; see the numpy tier for the contract."""
+    return _row_searchsorted(sorted_rows, targets, side_left)
+
+
+@njit(cache=True, parallel=True)
+def _dense_counts(rank, lo, hi):
+    A, m = lo.shape
+    n = rank.shape[1]
+    out = np.zeros((A, n), dtype=np.int32)
+    for i in prange(A):
+        for j in range(m):
+            lo_ij = lo[i, j]
+            hi_ij = hi[i, j]
+            for o in range(n):
+                r = rank[j, o]
+                if r >= lo_ij and r < hi_ij:
+                    out[i, o] += 1
+    return out
+
+
+def dense_counts(rank, lo, hi):
+    """Rank-comparison counting; see the numpy tier for the contract."""
+    return _dense_counts(rank, lo, hi)
+
+
+@njit(cache=True, parallel=True)
+def _sparse_counts(order, seg_q, seg_t, seg_lo, lengths, qstarts, delta):
+    A = delta.shape[0]
+    # Segments are grouped by query, so each prange iteration owns its
+    # delta row exclusively — no accumulation races.
+    for i in prange(A):
+        for s in range(qstarts[i], qstarts[i + 1]):
+            t = seg_t[s]
+            lo = seg_lo[s]
+            for p in range(lo, lo + lengths[s]):
+                delta[i, order[t, p]] += 1
+    return delta
+
+
+def sparse_counts(order, seg_q, seg_t, seg_lo, lengths, A):
+    """Segment count-deltas accumulated into a preallocated ``(A, n)`` buffer.
+
+    Integer additions commute exactly, so grouping segments by query (for
+    race-free ``prange`` parallelism) yields the same matrix as any other
+    order — including the numpy tier's chunked bincount.
+    """
+    n = order.shape[1]
+    delta = np.zeros((A, n), dtype=np.int32)
+    if lengths.size == 0:
+        return delta
+    by_q = np.argsort(seg_q, kind="stable")
+    seg_q = seg_q[by_q]
+    qstarts = np.searchsorted(seg_q, np.arange(A + 1, dtype=np.int64))
+    return _sparse_counts(order, seg_q, seg_t[by_q], seg_lo[by_q],
+                          lengths[by_q], qstarts, delta)
+
+
+@njit(cache=True, parallel=True)
+def _crossings(counts, prev, threshold, row_ends):
+    A, n = counts.shape
+    for i in prange(A):
+        c = 0
+        for o in range(n):
+            if counts[i, o] >= threshold and prev[i, o] < threshold:
+                c += 1
+        row_ends[i] = c
+    return row_ends
+
+
+@njit(cache=True, parallel=True)
+def _fill_crossings(counts, prev, threshold, offsets, qs, ids):
+    A, n = counts.shape
+    for i in prange(A):
+        k = offsets[i]
+        for o in range(n):
+            if counts[i, o] >= threshold and prev[i, o] < threshold:
+                qs[k] = i
+                ids[k] = o
+                k += 1
+    return qs
+
+
+def crossings(counts, prev, threshold):
+    """Row-major threshold crossings; see the numpy tier for the contract."""
+    A = counts.shape[0]
+    row_counts = np.zeros(A, dtype=np.int64)
+    _crossings(counts, prev, threshold, row_counts)
+    offsets = np.zeros(A + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=offsets[1:])
+    total = int(offsets[-1])
+    qs = np.empty(total, dtype=np.int64)
+    ids = np.empty(total, dtype=np.int64)
+    if total:
+        _fill_crossings(counts, prev, threshold, offsets, qs, ids)
+    return qs, ids
+
+
+@njit(cache=True)
+def _count_leq(sorted_values, threshold):
+    lo = 0
+    hi = sorted_values.size
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if sorted_values[mid] <= threshold:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def count_leq(sorted_values, threshold):
+    """Count of ascending values ``<= threshold`` (binary search)."""
+    return int(_count_leq(sorted_values, threshold))
+
+
+@njit(cache=True)
+def _merge_sorted(a, b, out):
+    i = 0
+    j = 0
+    k = 0
+    na = a.size
+    nb = b.size
+    while i < na and j < nb:
+        if a[i] <= b[j]:
+            out[k] = a[i]
+            i += 1
+        else:
+            out[k] = b[j]
+            j += 1
+        k += 1
+    while i < na:
+        out[k] = a[i]
+        i += 1
+        k += 1
+    while j < nb:
+        out[k] = b[j]
+        j += 1
+        k += 1
+    return out
+
+
+def merge_sorted(sorted_a, sorted_b):
+    """Merge two ascending float64 arrays into one ascending array."""
+    out = np.empty(sorted_a.size + sorted_b.size, dtype=np.float64)
+    return _merge_sorted(sorted_a, sorted_b, out)
+
+
+@njit(cache=True)
+def _bincount_i32(ids, out):
+    for i in range(ids.size):
+        out[ids[i]] += 1
+    return out
+
+
+def bincount_i32(ids, n):
+    """Occurrences of each id in ``[0, n)`` as an int32 vector."""
+    return _bincount_i32(ids, np.zeros(n, dtype=np.int32))
+
+
+@njit(cache=True, parallel=True)
+def _pair_distances(points, query, squared):
+    n, d = points.shape
+    out = np.empty(n, dtype=np.float64)
+    for i in prange(n):
+        buf = np.empty(d, dtype=np.float64)
+        for j in range(d):
+            diff = points[i, j] - query[j]
+            if squared:
+                buf[j] = diff * diff
+            else:
+                buf[j] = abs(diff)
+        # The same balanced fold tree as _numpy._fold_sum: pair t with
+        # t + h, h = (d + 1) // 2; an odd middle element carries through.
+        dd = d
+        while dd > 1:
+            h = (dd + 1) // 2
+            for t in range(dd - h):
+                buf[t] += buf[t + h]
+            dd = h
+        acc = buf[0] if d > 0 else 0.0
+        out[i] = np.sqrt(acc) if squared else acc
+    return out
+
+
+def euclidean_distances(points, query):
+    """Euclidean distances via the deterministic fold; bit-equal to numpy."""
+    return _pair_distances(points, query, True)
+
+
+def manhattan_distances(points, query):
+    """Manhattan distances via the deterministic fold; bit-equal to numpy."""
+    return _pair_distances(points, query, False)

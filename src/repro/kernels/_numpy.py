@@ -1,0 +1,170 @@
+"""Pure-numpy kernel tier: the reference implementation of every primitive.
+
+This module is the *specification*. Each kernel's result is defined as an
+exact sequence of integer comparisons, integer additions, and
+one-rounding-per-operation float64 arithmetic; the jitted tier
+(:mod:`repro.kernels._numba`) performs the same operations in the same
+order, so the two tiers are bit-identical — integer kernels trivially
+(integer arithmetic is exact), the distance kernels because both reduce
+with the identical balanced fold tree (:func:`_fold_sum`).
+
+Inputs arrive pre-validated and dtype-normalized by the dispatch wrappers
+in :mod:`repro.kernels`; implementations here may assume shapes and dtypes
+are as documented there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Entries per chunk of the sparse gather: keeps temporaries small enough
+#: for the allocator to recycle instead of faulting fresh pages.
+_GATHER_CHUNK = 1 << 21
+
+
+def row_searchsorted(sorted_rows, targets, side_left):
+    """Core lockstep binary search: ``targets`` is ``(B, m)``, rows sorted.
+
+    Runs all ``B * m`` binary searches with ``O(log n)`` vectorized
+    passes. Comparison semantics match :func:`numpy.searchsorted`
+    (``side='left'`` when ``side_left`` else ``side='right'``).
+    """
+    m, n = sorted_rows.shape
+    lo = np.zeros(targets.shape, dtype=np.int64)
+    hi = np.full(targets.shape, n, dtype=np.int64)
+    rows = np.arange(m)  # broadcasts over the leading batch axis
+    # Invariant: per key the answer lies in [lo, hi]; each pass halves the
+    # active ranges. Converged keys (lo == hi) may hold lo == n, so probe a
+    # clamped index and mask their updates out.
+    active = lo < hi
+    while np.any(active):
+        mid = (lo + hi) >> 1
+        vals = sorted_rows[rows, np.minimum(mid, n - 1)]
+        if side_left:
+            go_right = vals < targets
+        else:
+            go_right = vals <= targets
+        lo = np.where(active & go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+        active = lo < hi
+    return lo
+
+
+def dense_counts(rank, lo, hi):
+    """Absolute collision counts by rank comparison: ``(A, n)`` int32.
+
+    Object ``o`` collides with query ``i`` in table ``j`` iff its sort
+    position ``rank[j, o]`` lies in ``[lo[i, j], hi[i, j])`` — two integer
+    comparisons per cell, ``O(A * m * n)`` independent of interval width.
+    """
+    A = lo.shape[0]
+    n = rank.shape[1]
+    out = np.empty((A, n), dtype=np.int32)
+    for i in range(A):
+        out[i] = ((rank >= lo[i][:, None])
+                  & (rank < hi[i][:, None])).sum(axis=0, dtype=np.int32)
+    return out
+
+
+def sparse_counts(order, seg_q, seg_t, seg_lo, lengths, A):
+    """Count-deltas from newly covered segments: ``(A, n)`` int32.
+
+    Segment ``s`` contributes one count to ``(seg_q[s], order[seg_t[s], p])``
+    for every position ``p`` in ``[seg_lo[s], seg_lo[s] + lengths[s])``.
+    Integer additions commute exactly, so any accumulation order yields the
+    same matrix; this tier sorts segments by query (stable) so each chunk's
+    flat codes stay inside a narrow query band, then bincounts chunks into
+    a band-rebased scratch that is added onto one preallocated ``A * n``
+    buffer — the per-chunk temporary is ``O(band * n)``, not ``O(A * n)``.
+    """
+    n = order.shape[1]
+    delta_flat = np.zeros(A * n, dtype=np.int32)
+    if lengths.size == 0:
+        return delta_flat.reshape(A, n)
+    by_q = np.argsort(seg_q, kind="stable")
+    seg_q, seg_t = seg_q[by_q], seg_t[by_q]
+    seg_lo, lengths = seg_lo[by_q], lengths[by_q]
+    ends = np.cumsum(lengths)
+    n_segments = lengths.size
+    start = 0
+    while start < n_segments:
+        base = int(ends[start - 1]) if start else 0
+        # Largest run of whole segments fitting the chunk budget; an
+        # oversized single segment still goes through alone.
+        stop = int(np.searchsorted(ends, base + _GATHER_CHUNK,
+                                   side="right"))
+        stop = min(max(stop, start + 1), n_segments)
+        lens = lengths[start:stop]
+        local_starts = np.cumsum(lens) - lens
+        pos = (np.repeat(seg_lo[start:stop] - local_starts, lens)
+               + np.arange(int(lens.sum())))
+        flat = (np.repeat(seg_q[start:stop] * np.int64(n), lens)
+                + order[np.repeat(seg_t[start:stop], lens), pos])
+        # Chunk codes live in [q_first * n, (q_last + 1) * n): rebase so
+        # the bincount scratch covers only the chunk's query band.
+        q_first = int(seg_q[start])
+        band = (int(seg_q[stop - 1]) - q_first + 1) * n
+        rebase = q_first * n
+        delta_flat[rebase:rebase + band] += np.bincount(
+            flat - rebase, minlength=band)
+        start = stop
+    return delta_flat.reshape(A, n)
+
+
+def crossings(counts, prev, threshold):
+    """Row-major ``(query, object)`` pairs that crossed ``threshold``.
+
+    A pair crosses when ``counts >= threshold`` and ``prev < threshold``.
+    Returned as two int64 arrays sorted by query then object — exactly
+    ``numpy.nonzero`` order.
+    """
+    qs, ids = np.nonzero((counts >= threshold) & (prev < threshold))
+    return qs.astype(np.int64, copy=False), ids.astype(np.int64, copy=False)
+
+
+def count_leq(sorted_values, threshold):
+    """How many of the ascending ``sorted_values`` are ``<= threshold``."""
+    return int(np.searchsorted(sorted_values, threshold, side="right"))
+
+
+def merge_sorted(sorted_a, sorted_b):
+    """Merge two ascending float64 arrays into one ascending array."""
+    merged = np.concatenate((sorted_a, sorted_b))
+    merged.sort(kind="stable")  # timsort merges the two runs in O(n)
+    return merged
+
+
+def bincount_i32(ids, n):
+    """Occurrences of each id in ``[0, n)`` as an int32 vector."""
+    return np.bincount(ids, minlength=n).astype(np.int32)
+
+
+def _fold_sum(terms):
+    """Deterministic balanced-tree row reduction of ``(n, d)`` float64.
+
+    The fold pairs index ``t`` with ``t + h`` where ``h = (d + 1) // 2``,
+    halving until one column remains; an odd middle element is carried
+    unchanged. Every float64 addition in the tree is a single rounding at
+    a fixed position, so any implementation performing the same pairing —
+    vectorized here, an explicit loop in the numba tier — produces
+    bit-identical sums. Consumes ``terms`` as scratch.
+    """
+    n, d = terms.shape
+    if d == 0:
+        return np.zeros(n, dtype=np.float64)
+    while d > 1:
+        h = (d + 1) // 2
+        terms[:, : d - h] += terms[:, h:d]
+        d = h
+    return terms[:, 0].copy()
+
+
+def euclidean_distances(points, query):
+    """Euclidean distances from each row of ``(n, d)`` to ``query``."""
+    diff = points - query
+    return np.sqrt(_fold_sum(diff * diff))
+
+
+def manhattan_distances(points, query):
+    """Manhattan (l1) distances from each row of ``(n, d)`` to ``query``."""
+    return _fold_sum(np.abs(points - query))

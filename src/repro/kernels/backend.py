@@ -1,0 +1,122 @@
+"""Kernel-tier selection: numba when available, pure numpy otherwise.
+
+The repository's hot loops — row-wise binary search, dense rank-comparison
+counting, sparse gather/accumulate, threshold scans, candidate distance
+verification — exist in two interchangeable implementations
+(:mod:`repro.kernels._numpy` and :mod:`repro.kernels._numba`). This module
+picks one **once at import time** and the dispatch wrappers in
+:mod:`repro.kernels` route every call through the active tier.
+
+Selection rules, in order:
+
+1. ``REPRO_KERNELS=numpy`` forces the pure-numpy tier. Numba is never
+   imported, even when installed.
+2. ``REPRO_KERNELS=numba`` forces the jitted tier; if numba cannot be
+   imported this **raises** :class:`KernelBackendError` instead of
+   silently degrading (CI uses this to prove the compiled tier ran).
+3. Unset (or ``auto``): use numba if ``import numba`` succeeds, else fall
+   back to numpy.
+
+Both tiers are bit-identical by contract: every kernel is specified as an
+exact sequence of integer comparisons / integer additions / one-rounding
+floating-point operations that both implementations follow (see the
+distance fold in :mod:`repro.kernels._numpy`), so ids, distances and
+QueryStats do not depend on which tier answered.
+
+Worker processes (:mod:`repro.sharding.worker`) call :func:`reselect` on
+startup so each process derives its tier from its own environment rather
+than inheriting a pickled decision.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["KernelBackendError", "active", "active_backend", "backend_name",
+           "reselect", "select"]
+
+#: Environment variable that forces the tier: ``numpy`` | ``numba`` | ``auto``.
+ENV_VAR = "REPRO_KERNELS"
+
+_active = None  # the active tier module
+_info = {"backend": "numpy", "numba_version": None}
+
+
+class KernelBackendError(RuntimeError):
+    """A kernel tier was requested but cannot be provided."""
+
+
+def _load_numba_tier():
+    """Import numba and the jitted tier; returns ``(module, version)``."""
+    import numba  # noqa: F401 — availability probe
+
+    from . import _numba
+
+    return _numba, getattr(numba, "__version__", "unknown")
+
+
+def select(name=None):
+    """Activate a kernel tier; returns the implementation module.
+
+    ``name`` is ``"numpy"``, ``"numba"``, ``"auto"`` or ``None`` (meaning:
+    read :data:`ENV_VAR`, defaulting to ``auto``). Forcing ``numba``
+    without an importable numba raises :class:`KernelBackendError`.
+    """
+    global _active, _info
+    if name is None:
+        name = os.environ.get(ENV_VAR, "").strip().lower() or "auto"
+    if name not in ("auto", "numpy", "numba"):
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r}: expected 'numpy', 'numba' "
+            f"or 'auto' (via the {ENV_VAR} environment variable)"
+        )
+    if name == "numpy":
+        from . import _numpy
+
+        _active = _numpy
+        _info = {"backend": "numpy", "numba_version": None}
+    elif name == "numba":
+        try:
+            _active, version = _load_numba_tier()
+        except Exception as exc:
+            raise KernelBackendError(
+                f"the numba kernel tier was requested (via {ENV_VAR} or "
+                f"select('numba')) but is unavailable "
+                f"({type(exc).__name__}: {exc}); install the 'fast' extra "
+                f"(pip install repro[fast]) or use the numpy tier"
+            ) from exc
+        _info = {"backend": "numba", "numba_version": version}
+    else:  # auto
+        try:
+            _active, version = _load_numba_tier()
+            _info = {"backend": "numba", "numba_version": version}
+        except Exception:
+            from . import _numpy
+
+            _active = _numpy
+            _info = {"backend": "numpy", "numba_version": None}
+    return _active
+
+
+def reselect():
+    """Re-run environment-driven selection (per-process worker startup)."""
+    return select(None)
+
+
+def active():
+    """The active tier implementation module."""
+    return _active
+
+
+def active_backend():
+    """Telemetry/bench stamp: ``{"backend": ..., "numba_version": ...}``."""
+    return dict(_info)
+
+
+def backend_name():
+    """The active tier's name, ``"numpy"`` or ``"numba"``."""
+    return _info["backend"]
+
+
+# One selection at import; REPRO_KERNELS=numba with no numba raises here.
+select(None)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.batchengine import BatchQueryCounter
 from ..core.counting import CollisionCounter
+from ..kernels import backend as _kernels_backend
 from ..hashing.pstable import PStableFamily, PStableFunctions
 from ..reliability.faults import FaultInjector, FaultPlan
 from ..storage.datafile import DataFile
@@ -147,6 +148,11 @@ class ShardHost:
     """
 
     def __init__(self, config):
+        # Kernel tiers are a per-process decision: a spawned worker must
+        # derive numpy-vs-numba from its own environment (REPRO_KERNELS
+        # travels through the inherited environ), not inherit a pickled
+        # coordinator choice. Idempotent in the serial in-process runner.
+        _kernels_backend.reselect()
         self.config = config
         self._shm = None
         if config.shm_name is not None:

@@ -2,72 +2,24 @@
 
 ``numpy.searchsorted`` only handles one sorted array at a time; C2LSH and
 QALSH need *m* simultaneous lookups, one per hash table, every radius step.
-``row_searchsorted`` runs all m binary searches in lockstep with
-``O(log n)`` vectorized passes, which is what keeps pure-numpy queries fast
-(the repro band's "hashing loops slow without C extensions" warning).
+``row_searchsorted`` runs all m binary searches in lockstep, which is what
+keeps queries fast (the repro band's "hashing loops slow without C
+extensions" warning).
 
 The search also batches across *queries*: passing a ``(Q, m)`` target
 matrix runs all ``Q * m`` lookups against the shared ``(m, n)`` sorted rows
-in the same ``O(log n)`` passes, which is the primitive the lockstep batch
-query engine (:mod:`repro.core.batchengine`) is built on.
+together, which is the primitive the lockstep batch query engine
+(:mod:`repro.core.batchengine`) is built on.
+
+The implementation lives in the kernel tier (:mod:`repro.kernels`): the
+pure-numpy fallback runs all searches with ``O(log n)`` vectorized passes,
+the numba tier compiles the per-key bisection loops; both produce
+identical positions (the search performs only comparisons, never
+arithmetic on the values). This module remains the public entry point.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..kernels import row_searchsorted
 
 __all__ = ["row_searchsorted"]
-
-
-def row_searchsorted(sorted_rows, targets, side="left"):
-    """Insertion positions of ``targets[..., i]`` within ``sorted_rows[i]``.
-
-    Parameters
-    ----------
-    sorted_rows:
-        ``(m, n)`` array, each row sorted ascending.
-    targets:
-        ``(m,)`` array of per-row search keys, or ``(..., m)`` — most
-        usefully ``(Q, m)`` — to search every row with a whole batch of
-        keys at once. Row ``i`` always answers ``targets[..., i]``.
-    side:
-        ``"left"`` (first position with ``row[pos] >= target``) or
-        ``"right"`` (first position with ``row[pos] > target``), matching
-        ``numpy.searchsorted`` semantics.
-
-    Returns
-    -------
-    numpy.ndarray of int64, same shape as ``targets``, values in ``[0, n]``.
-    """
-    sorted_rows = np.asarray(sorted_rows)
-    targets = np.asarray(targets)
-    if sorted_rows.ndim != 2:
-        raise ValueError(f"sorted_rows must be 2-D, got {sorted_rows.shape}")
-    m, n = sorted_rows.shape
-    if targets.ndim == 0 or targets.shape[-1] != m:
-        raise ValueError(
-            f"targets must have shape (..., {m}), got {targets.shape}"
-        )
-    if side not in ("left", "right"):
-        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-
-    if n == 0:
-        return np.zeros(targets.shape, dtype=np.int64)
-    lo = np.zeros(targets.shape, dtype=np.int64)
-    hi = np.full(targets.shape, n, dtype=np.int64)
-    rows = np.arange(m)  # broadcasts over any leading target axes
-    # Invariant: per key the answer lies in [lo, hi]; each pass halves the
-    # active ranges. Converged keys (lo == hi) may hold lo == n, so probe a
-    # clamped index and mask their updates out.
-    active = lo < hi
-    while np.any(active):
-        mid = (lo + hi) >> 1
-        vals = sorted_rows[rows, np.minimum(mid, n - 1)]
-        if side == "left":
-            go_right = vals < targets
-        else:
-            go_right = vals <= targets
-        lo = np.where(active & go_right, mid + 1, lo)
-        hi = np.where(active & ~go_right, mid, hi)
-        active = lo < hi
-    return lo
