@@ -39,7 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import C2LSH, kernels  # noqa: E402
 from repro.kernels import KernelBackendError  # noqa: E402
-from repro.obs import Histogram  # noqa: E402
+from repro.obs import Histogram, provenance  # noqa: E402
 
 
 def _latency_summary(results):
@@ -181,6 +181,9 @@ def main(argv=None):
                           args.seed, args.n_jobs)
         _print_run(result)
     result["smoke"] = args.smoke
+    # Environment stamp: BENCH files are only comparable (see
+    # ``python -m repro.obs diff``) across matching provenance.
+    result["provenance"] = provenance()
 
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

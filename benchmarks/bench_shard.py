@@ -37,7 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import C2LSH, ShardedC2LSH  # noqa: E402
 from repro.kernels import active_backend  # noqa: E402
-from repro.obs import MetricsRegistry  # noqa: E402
+from repro.obs import MetricsRegistry, provenance  # noqa: E402
 
 
 def _identical(expected, got):
@@ -162,6 +162,7 @@ def main(argv=None):
         print(f"S=4 vs S=1: build {s4['build_speedup']:.2f}x, "
               f"query {s4['query_speedup']:.2f}x")
 
+    result["provenance"] = provenance()
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")
 

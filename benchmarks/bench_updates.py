@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import DurableUpdatableC2LSH  # noqa: E402
 from repro.core.updatable import UpdatableC2LSH  # noqa: E402
 from repro.kernels import active_backend  # noqa: E402
+from repro.obs import provenance  # noqa: E402
 
 KWARGS = dict(seed=0, c=2, min_index_size=200, rebuild_threshold=0.3)
 
@@ -142,6 +143,7 @@ def main(argv=None):
     print(f"fsync keeps {result['fsync_slowdown']:.1%} of in-memory "
           f"throughput  identical={result['identical_results']}")
 
+    result["provenance"] = provenance()
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -38,7 +38,7 @@ import numpy as np
 
 from .. import kernels
 from ..kernels import row_searchsorted
-from ..obs import trace
+from ..obs import flight, trace
 from .results import QueryResult, QueryStats
 
 __all__ = ["BatchQueryCounter", "WithinRadiusTally", "batch_query",
@@ -410,6 +410,13 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
                             budget_cap[q] = ("candidates" if cand_hit[i]
                                              else "io_pages" if io_hit[i]
                                              else "deadline")
+                            flight.note(
+                                "budget_exhausted", engine="batch",
+                                query=q, cap=budget_cap[q],
+                                radius=int(radius),
+                                candidates=int(n_cand[q]),
+                                io_pages=int(io_reads[q]),
+                            )
                         done |= over
                     finished = active[done]
                     if finished.size:
@@ -423,6 +430,14 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     finally:
         if pool is not None:
             pool.shutdown()
+
+    tripped = [q for q in range(n_queries) if budget_cap[q]]
+    if tripped:
+        flight.dump("budget_exhausted", extra={
+            "engine": "batch",
+            "queries": tripped,
+            "caps": sorted({budget_cap[q] for q in tripped}),
+        })
 
     results = []
     traced = trace.active()

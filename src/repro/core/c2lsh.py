@@ -34,7 +34,7 @@ import numpy as np
 
 from ..hashing.pstable import PStableFamily
 from ..kernels import backend_name as _kernels_backend
-from ..obs import trace
+from ..obs import flight, trace
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from ..storage.datafile import DataFile
 from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
@@ -267,6 +267,15 @@ class C2LSH:
                         stop = "budget"
                         stats.degraded = True
                         stats.budget_exhausted = tripped
+                        flight.note(
+                            "budget_exhausted", engine="sequential",
+                            cap=tripped, radius=int(radius),
+                            candidates=int(n_candidates),
+                            rounds=int(stats.rounds),
+                        )
+                        flight.dump("budget_exhausted", extra={
+                            "engine": "sequential", "cap": tripped,
+                        })
                 if traced:
                     self._annotate_round(rspan, radius, touched, fresh,
                                          cand_dists, n_candidates, tally,

@@ -23,7 +23,8 @@ from ..eval.reporting import Table
 from ..obs import tracing
 from ..validation import as_query_vector
 
-__all__ = ["RoundTrace", "QueryExplanation", "explain"]
+__all__ = ["RoundTrace", "QueryExplanation", "explain",
+           "ShardSpanTrace", "ShardedQueryExplanation", "explain_sharded"]
 
 
 @dataclass
@@ -76,6 +77,120 @@ class QueryExplanation:
     def print(self, file=None):
         """Print the rendered explanation."""
         print(self.render(), file=file)
+
+
+@dataclass
+class ShardSpanTrace:
+    """One worker-side span as observed during a sharded query.
+
+    ``round_no`` is the coordinator round the span belongs to (0 for the
+    fallback phase); ``pid`` and ``kernels`` identify the worker process
+    and its kernel tier, proving the span really was recorded on the
+    shard side and propagated back.
+    """
+
+    round_no: int
+    radius: int
+    shard: int
+    pid: int
+    kernels: str
+    scanned: int
+    candidates: int
+    pages: int
+    seconds: float
+
+
+@dataclass
+class ShardedQueryExplanation:
+    """Full account of one sharded query's execution, per shard."""
+
+    spans: list              # ShardSpanTrace, (round, shard) order
+    terminated_by: str
+    k: int
+    n_shards: int
+    io_reads: int            # coordinator-aggregated page total
+    result_ids: np.ndarray
+    result_distances: np.ndarray
+
+    def render(self):
+        """The per-shard timeline as a table plus a verdict line."""
+        table = Table(
+            ["round", "radius", "shard", "pid", "kernels", "scanned",
+             "new_cand", "pages", "ms"],
+            title=f"Sharded query explanation (k={self.k}, "
+                  f"{self.n_shards} shards, {self.io_reads} pages)",
+        )
+        for s in self.spans:
+            table.add(s.round_no if s.round_no else "FB",
+                      s.radius if s.radius else "-",
+                      s.shard, s.pid, s.kernels, s.scanned,
+                      s.candidates, s.pages, f"{s.seconds * 1e3:.3f}")
+        verdict = {
+            "T1": "stopped by T1: enough verified candidates within c*R",
+            "T2": "stopped by T2: the false-positive budget filled",
+            "exhausted": "stopped because the tables were exhausted",
+            "fallback": "fell back to count-ordered verification",
+            "budget": "stopped by the query budget (degraded result)",
+        }.get(self.terminated_by, self.terminated_by)
+        return table.render() + f"\n=> {verdict}"
+
+    def print(self, file=None):
+        """Print the rendered explanation."""
+        print(self.render(), file=file)
+
+
+def explain_sharded(engine, query, k=1):
+    """Trace one sharded query; per-shard rounds from worker spans.
+
+    Runs the real :meth:`~repro.sharding.ShardedC2LSH.query` under a
+    local telemetry trace. The coordinator's ``shard.round`` spans give
+    the round timeline; the ``shard.worker.round`` /
+    ``shard.worker.fallback`` spans — recorded *inside the worker
+    process* and shipped back on the round payloads — give the per-shard
+    rows, each stamped with the worker's pid and kernel tier. The sum of
+    per-shard ``pages`` equals the query's aggregate ``io_reads``.
+    """
+    engine._require_fitted()
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    query = as_query_vector(query, engine.dim)
+
+    with tracing() as tr:
+        result = engine.query(query, k=k)
+
+    # Coordinator rounds close in radius order; number them 1..R so the
+    # worker spans (matched by radius) can be grouped per round.
+    round_no = {}
+    for ev in tr.events:
+        if getattr(ev, "name", None) == "shard.round":
+            round_no.setdefault(ev.attrs["radius"], len(round_no) + 1)
+
+    spans = []
+    for ev in tr.events:
+        name = getattr(ev, "name", None)
+        if name not in ("shard.worker.round", "shard.worker.fallback"):
+            continue
+        attrs = ev.attrs
+        radius = int(attrs.get("radius", 0))
+        spans.append(ShardSpanTrace(
+            round_no=round_no.get(radius, 0) if name.endswith(".round")
+            else 0,
+            radius=radius,
+            shard=int(attrs["shard"]),
+            pid=int(attrs["pid"]),
+            kernels=str(attrs["kernels"]),
+            scanned=int(attrs.get("scanned", 0)),
+            candidates=int(attrs.get("candidates",
+                                     attrs.get("queries", 0))),
+            pages=int(attrs.get("pages", 0)),
+            seconds=float(ev.duration_s),
+        ))
+    spans.sort(key=lambda s: (s.round_no or len(round_no) + 1, s.shard))
+    return ShardedQueryExplanation(
+        spans=spans, terminated_by=result.stats.terminated_by, k=k,
+        n_shards=engine.n_shards, io_reads=result.stats.io_reads,
+        result_ids=result.ids, result_distances=result.distances,
+    )
 
 
 def explain(index, query, k=1):

@@ -31,7 +31,7 @@ from ..data import exact_knn, gaussian_clusters, load_profile, split_queries
 from ..data.profiles import PROFILES, Dataset
 from ..hashing import PStableFamily
 from ..kernels import active_backend
-from ..obs import SnapshotSink, trace, tracing
+from ..obs import SnapshotSink, flight, provenance, trace, tracing
 from ..storage import DEFAULT_PAGE_SIZE, PageManager
 from .reporting import Table
 from .sweep import timed_build, timed_queries
@@ -107,6 +107,11 @@ def _save_metrics(args, stem):
             # numeric kernels.numba gauge the sink itself records), so
             # metrics from mixed environments are attributable.
             snapshot["kernels"] = active_backend()
+            # Full environment stamp (git SHA, host, cpu count, library
+            # versions): two metrics files are only comparable — e.g. by
+            # ``python -m repro.obs diff`` — when their provenance says
+            # they came from comparable environments.
+            snapshot["provenance"] = provenance()
             with open(path, "w") as fh:
                 json.dump(snapshot, fh, indent=2, sort_keys=True)
             return
@@ -631,32 +636,43 @@ def build_parser():
     return parser
 
 
-def _run_experiment(name, args):
-    """Run one experiment, traced into a fresh sink when saving output."""
-    if args.out_dir:
-        with tracing(SnapshotSink(), keep_events=False):
+def _run_experiment(name, args, sink=None):
+    """Run one experiment, traced into the sweep's shared sink.
+
+    ``sink`` is the one :class:`SnapshotSink` ``main`` creates for the
+    whole sweep when ``--out-dir`` is given; it is reset between
+    experiments (see :meth:`SnapshotSink.reset`) so each
+    ``{stem}_metrics.json`` reflects exactly one experiment.
+    """
+    if sink is not None:
+        sink.reset()
+        with tracing(sink, keep_events=False):
             return EXPERIMENTS[name](args)
     return EXPERIMENTS[name](args)
 
 
-def _run_safely(name, args):
+def _run_safely(name, args, sink=None):
     """Run one experiment, containing failures so a sweep can continue.
 
     Returns True on success. An unexpected exception is reported on
     stderr and — when ``--out-dir`` is given — recorded as
     ``{name}_error.json`` (type, message, traceback) next to where the
-    experiment's CSV would have landed, so a long sweep both keeps going
-    and leaves a machine-readable trail of what broke.
+    experiment's CSV would have landed, plus a flight-recorder postmortem
+    (``{name}_flight.json``) holding the telemetry tail leading up to the
+    crash — so a long sweep both keeps going and leaves a
+    machine-readable trail of what broke.
     ``KeyboardInterrupt`` and ``SystemExit`` still propagate: argument
     errors and user interrupts must not be swallowed as experiment
     failures.
     """
     try:
-        _run_experiment(name, args)
+        _run_experiment(name, args, sink)
         return True
     except Exception as exc:
         print(f"experiment {name} failed: {type(exc).__name__}: {exc}",
               file=sys.stderr)
+        flight.note("experiment_failed", experiment=name,
+                    error=type(exc).__name__, message=str(exc))
         if args.out_dir:
             os.makedirs(args.out_dir, exist_ok=True)
             stem = name.replace("-", "_")
@@ -669,6 +685,11 @@ def _run_safely(name, args):
             with open(os.path.join(args.out_dir,
                                    f"{stem}_error.json"), "w") as fh:
                 json.dump(payload, fh, indent=2, sort_keys=True)
+            flight.dump("experiment_failed",
+                        extra={"experiment": name},
+                        path=os.path.join(args.out_dir,
+                                          f"{stem}_flight.json"),
+                        force=True)
         return False
 
 
@@ -682,11 +703,12 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    sink = SnapshotSink() if args.out_dir else None
     failed = []
     for name in names:
         if args.experiment == "all":
             print(f"== {name} ==")
-        if not _run_safely(name, args):
+        if not _run_safely(name, args, sink):
             failed.append(name)
     if failed:
         print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}",

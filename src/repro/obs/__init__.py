@@ -24,11 +24,28 @@ Typical session::
         index.query(q, k=10)
     snap.phase_totals()     # {"query": ..., "count_round": ..., ...}
 
-``python -m repro.obs events.jsonl`` summarizes a written event log into
-a phase-breakdown table.
+Cross-process observability (PR 7):
+
+* :mod:`repro.obs.remote` — worker-side span export and coordinator-side
+  grafting, so sharded queries carry true per-shard spans;
+* :mod:`repro.obs.flight` — an always-on bounded flight recorder with
+  postmortem dumps on degradation (budget exhaustion, retry giveup,
+  experiment failure);
+* :mod:`repro.obs.server` — :class:`ObsServer`, a stdlib HTTP scrape
+  surface (``/metrics``, ``/healthz``, ``/debug/flightrecorder``);
+* :mod:`repro.obs.diff` — the ``python -m repro.obs diff`` tolerance
+  gate over two metrics/benchmark JSON files;
+* :mod:`repro.obs.provenance` — the environment stamp written into every
+  benchmark and metrics artifact.
+
+``python -m repro.obs events.jsonl`` summarizes a written event log (or a
+flight-recorder dump) into a phase-breakdown table; ``python -m repro.obs
+diff base.json current.json`` compares two metrics artifacts.
 """
 
-from . import trace
+from . import flight, trace
+from .flight import FlightRecorder
+from .provenance import provenance
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -36,10 +53,12 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
+from .server import ObsServer
 from .sinks import (
     JsonlSink,
     SnapshotSink,
     load_jsonl,
+    render_info,
     render_prometheus,
     replay,
 )
@@ -62,4 +81,9 @@ __all__ = [
     "load_jsonl",
     "replay",
     "render_prometheus",
+    "render_info",
+    "flight",
+    "FlightRecorder",
+    "ObsServer",
+    "provenance",
 ]

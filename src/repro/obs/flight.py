@@ -1,0 +1,219 @@
+"""Flight recorder: an always-on bounded ring of recent events.
+
+Benchmarks reproduce the behaviors someone thought to benchmark; the
+failures that matter in serving — a query that blows its budget, a retry
+loop that gives up, an experiment that dies mid-sweep — happen once, under
+conditions nobody scripted. The flight recorder is the black box for those
+moments: engines :func:`note` cheap structured events into a bounded ring
+buffer regardless of whether tracing is active (one dict build and one
+deque append per note), and when something degrades the recorder
+:func:`dump`\\ s the ring — plus provenance and the trigger's details — to
+a postmortem JSON file that ``python -m repro.obs`` can summarize.
+
+Dump triggers wired through the engines:
+
+* ``budget_exhausted`` — a query tripped its :class:`~repro.reliability.
+  QueryBudget` cap (sequential, batch, and sharded paths);
+* ``retry_giveup`` — a :class:`~repro.reliability.FaultInjector` retry
+  budget ran out;
+* ``experiment_failure`` — the eval harness contained an experiment crash.
+
+Dumps are rate-limited per reason (default one per 60 s) so a degradation
+storm produces one postmortem, not thousands. The default dump directory
+is ``$REPRO_FLIGHT_DIR`` when set, else ``<tempdir>/repro-flight``.
+
+The recorder also speaks the trace-sink protocol (``on_span`` / ``on_io``),
+so it can ride along a :class:`~repro.obs.trace.tracing` block and keep
+the most recent spans of a traced run in the ring::
+
+    with tracing(SnapshotSink(), flight.recorder()):
+        index.query_batch(queries, k=10)
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import tempfile
+import threading
+import time
+
+__all__ = ["FlightRecorder", "recorder", "install", "note", "dump"]
+
+#: Environment variable overriding the default dump directory.
+ENV_DIR = "REPRO_FLIGHT_DIR"
+
+#: On-disk format tag checked by the ``python -m repro.obs`` summarizer.
+FORMAT = "repro-flight-v1"
+
+
+def _jsonable(value):
+    """Best-effort conversion of event field values to JSON-safe types."""
+    item = getattr(value, "item", None)
+    if item is not None:  # numpy scalars
+        return item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class FlightRecorder:
+    """A bounded, thread-safe ring buffer of recent events.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained; older ones fall off the far end.
+    directory:
+        Where :meth:`dump` writes postmortems. ``None`` resolves at dump
+        time: ``$REPRO_FLIGHT_DIR`` when set, else
+        ``<tempdir>/repro-flight``.
+    min_dump_interval_s:
+        Rate limit between dumps *of the same reason*; suppressed dumps
+        return ``None``. ``force=True`` bypasses the limit.
+    """
+
+    def __init__(self, capacity=512, directory=None,
+                 min_dump_interval_s=60.0):
+        if int(capacity) < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.directory = directory
+        self.min_dump_interval_s = float(min_dump_interval_s)
+        self._ring = collections.deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._last_dump = {}   # reason -> monotonic time of last dump
+        self.dumps = 0         # postmortems written by this recorder
+
+    # -- recording -----------------------------------------------------------
+
+    def note(self, kind, **fields):
+        """Append one event; returns its sequence number.
+
+        ``kind`` names the event (``"budget_exhausted"``,
+        ``"shard.round"``, ...); ``fields`` are free-form and converted
+        to JSON-safe scalars on the way in, so dumping never fails on a
+        numpy int trapped in the ring.
+        """
+        event = {k: _jsonable(v) for k, v in fields.items()}
+        event["kind"] = str(kind)
+        event["t"] = time.time()
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._ring.append(event)
+        return event["seq"]
+
+    # -- trace-sink protocol -------------------------------------------------
+
+    def on_span(self, event):
+        """Record a closed span (trace-sink hook)."""
+        self.note("span", name=event.name,
+                  duration_s=float(event.duration_s),
+                  **{k: _jsonable(v) for k, v in event.attrs.items()})
+
+    def on_io(self, event):
+        """Record a page-I/O charge (trace-sink hook)."""
+        self.note("io", io_kind=event.kind, pages=int(event.pages),
+                  site=event.site)
+
+    # -- introspection -------------------------------------------------------
+
+    def events(self):
+        """The ring's events, oldest first (a copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self):
+        return len(self._ring)
+
+    def clear(self):
+        """Drop every buffered event (sequence numbers keep counting)."""
+        with self._lock:
+            self._ring.clear()
+
+    # -- postmortems ---------------------------------------------------------
+
+    def _resolve_dir(self):
+        if self.directory is not None:
+            return self.directory
+        return os.environ.get(ENV_DIR) or os.path.join(
+            tempfile.gettempdir(), "repro-flight")
+
+    def dump(self, reason, extra=None, path=None, force=False):
+        """Write the ring to a postmortem JSON file; returns its path.
+
+        Returns ``None`` when the per-reason rate limit suppressed the
+        dump. ``extra`` (a JSON-safe dict) records the trigger's details
+        next to the events; ``path`` overrides the default
+        ``<dir>/flight_<reason>_<pid>_<n>.json`` naming.
+        """
+        now = time.monotonic()
+        with self._lock:
+            last = self._last_dump.get(reason)
+            if not force and last is not None \
+                    and now - last < self.min_dump_interval_s:
+                return None
+            self._last_dump[reason] = now
+            events = list(self._ring)
+            self.dumps += 1
+            n = self.dumps
+        from .provenance import provenance
+
+        payload = {
+            "format": FORMAT,
+            "reason": str(reason),
+            "unix_time": time.time(),
+            "pid": os.getpid(),
+            "provenance": provenance(),
+            "extra": extra or {},
+            "events": events,
+        }
+        if path is None:
+            directory = self._resolve_dir()
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory, f"flight_{reason}_{os.getpid()}_{n}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        return path
+
+    def __repr__(self):
+        return (f"FlightRecorder(events={len(self._ring)}/{self.capacity}, "
+                f"dumps={self.dumps})")
+
+
+#: The process-wide recorder the module-level helpers write to.
+_DEFAULT = FlightRecorder()
+
+
+def recorder():
+    """The process-wide :class:`FlightRecorder`."""
+    return _DEFAULT
+
+
+def install(new_recorder):
+    """Replace the process-wide recorder; returns the previous one.
+
+    Tests use this to isolate dump directories and rate limits::
+
+        old = flight.install(FlightRecorder(directory=tmp, ...))
+        try: ...
+        finally: flight.install(old)
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = new_recorder
+    return previous
+
+
+def note(kind, **fields):
+    """Record one event on the process-wide recorder."""
+    return _DEFAULT.note(kind, **fields)
+
+
+def dump(reason, extra=None, path=None, force=False):
+    """Dump the process-wide recorder; returns the path or ``None``."""
+    return _DEFAULT.dump(reason, extra=extra, path=path, force=force)

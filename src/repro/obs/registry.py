@@ -50,6 +50,10 @@ class Counter:
         self.value += amount
         return self.value
 
+    def reset(self):
+        """Return the counter to zero (a fresh-experiment boundary)."""
+        self.value = 0
+
 
 class Gauge:
     """A value that can move both ways (sizes, temperatures, depths)."""
@@ -69,6 +73,10 @@ class Gauge:
         """Add ``amount`` (may be negative); returns the new value."""
         self.value += amount
         return self.value
+
+    def reset(self):
+        """Return the gauge to zero (a fresh-experiment boundary)."""
+        self.value = 0.0
 
 
 class Histogram:
@@ -114,13 +122,22 @@ class Histogram:
         """Estimated ``q``-quantile (``q`` in [0, 1]) by interpolation.
 
         Linear within the containing bucket; clamped to the observed
-        min/max so estimates never leave the data's range. Returns 0.0
-        for an empty histogram.
+        min/max so estimates never leave the data's range. Tiny samples
+        get exact answers instead of bucket interpolation: an empty
+        histogram returns 0.0, one observation returns that observation
+        for every ``q``, and two observations return the lower for
+        ``q <= 0.5`` and the upper above it (nearest rank) — so a p99
+        over two samples reports a value that was actually observed, not
+        a synthetic point partway through a log-spaced bucket.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if self.count == 1:
+            return self._min
+        if self.count == 2:
+            return self._min if q <= 0.5 else self._max
         rank = q * self.count
         cumulative = 0
         for i, bucket_count in enumerate(self.counts):
@@ -133,6 +150,14 @@ class Histogram:
                 return min(max(value, self._min), self._max)
             cumulative += bucket_count
         return self._max
+
+    def reset(self):
+        """Forget every observation (bucket bounds are kept)."""
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def snapshot(self):
         """Summary dict: count, sum, mean, min/max, p50/p95/p99."""
@@ -195,3 +220,14 @@ class MetricsRegistry:
             else:
                 out[name] = metric.value
         return out
+
+    def reset(self):
+        """Zero every metric in place, keeping registrations.
+
+        Call sites hold direct references to their counters and
+        histograms, so the registry resets values rather than dropping
+        the metric objects — a sweep harness can reset between
+        experiments without re-wiring anything.
+        """
+        for metric in self._metrics.values():
+            metric.reset()

@@ -1,0 +1,117 @@
+"""Cross-process span propagation: export on the worker, graft at home.
+
+A :class:`~repro.sharding.worker.ShardHost` runs in another process, so
+its spans and I/O events cannot reach the coordinator's context-var trace
+directly. Instead the worker captures its own local trace, exports it to
+compact JSON-safe records (:func:`export_events` — the same schema
+:class:`~repro.obs.sinks.JsonlSink` writes), ships them home with its
+round observations, and the coordinator :func:`graft`\\ s them into the
+live trace as a subtree of the currently open span.
+
+Grafting allocates fresh span ids on the receiving trace (worker ids are
+only unique per worker) and remaps the records' parent links, so the
+stitched tree is indistinguishable from locally emitted spans: it reaches
+every sink, lands in ``Trace.events`` for :func:`~repro.core.explain.
+explain_sharded`, and survives a JSONL round trip
+(:func:`~repro.obs.sinks.load_jsonl` + :func:`~repro.obs.sinks.replay`
+reproduce the live aggregates exactly).
+
+``start_s`` timestamps are worker-process ``perf_counter`` values and are
+meaningless against coordinator timestamps; durations, attributes, and
+page counts are the portable truth.
+"""
+
+from __future__ import annotations
+
+from .sinks import _jsonable
+from .trace import IOEvent, SpanEvent
+from . import trace as _trace
+
+__all__ = ["export_events", "graft"]
+
+
+def export_events(events):
+    """Trace events → JSON-safe records (JsonlSink's line schema).
+
+    Attribute values are passed through the same best-effort conversion
+    the JSONL sink applies, so records pickle/JSON-serialize regardless
+    of what the instrumented code attached.
+    """
+    records = []
+    for event in events:
+        if isinstance(event, IOEvent):
+            records.append({
+                "type": "io",
+                "kind": event.kind,
+                "pages": int(event.pages),
+                "site": event.site,
+                "span_id": event.span_id,
+            })
+        else:
+            records.append({
+                "type": "span",
+                "name": event.name,
+                "start_s": float(event.start_s),
+                "duration_s": float(event.duration_s),
+                "span_id": event.span_id,
+                "parent_id": event.parent_id,
+                "attrs": {k: _jsonable(v) for k, v in event.attrs.items()},
+            })
+    return records
+
+
+def graft(records, target=None, **root_attrs):
+    """Re-emit exported records into a live trace; returns events added.
+
+    ``target`` defaults to the context's current trace (no-op when
+    tracing is disabled). Each record gets a fresh span id; parent links
+    internal to ``records`` are remapped, and records whose parent is not
+    in the batch — the worker's root spans — are parented under the
+    span currently open on the receiving trace. ``root_attrs`` are merged
+    into those root spans' attributes (e.g. ``worker=3``), on top of
+    whatever the worker already stamped.
+    """
+    tr = target if target is not None else _trace.current()
+    if tr is None or not records:
+        return 0
+    anchor = tr._stack[-1].span_id if tr._stack else None
+    id_map = {}
+    for record in records:
+        if record.get("type") == "span":
+            id_map[record["span_id"]] = tr._next_id()
+    grafted = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            parent = record.get("parent_id")
+            is_root = parent not in id_map
+            attrs = dict(record.get("attrs") or {})
+            if is_root and root_attrs:
+                attrs.update(root_attrs)
+            event = SpanEvent(
+                name=record["name"],
+                start_s=record.get("start_s", 0.0),
+                duration_s=record.get("duration_s", 0.0),
+                span_id=id_map[record["span_id"]],
+                parent_id=anchor if is_root else id_map[parent],
+                attrs=attrs,
+            )
+            if tr._keep:
+                tr.events.append(event)
+            for sink in tr.sinks:
+                sink.on_span(event)
+        elif kind == "io":
+            span_id = record.get("span_id")
+            event = IOEvent(
+                kind=record["kind"], pages=int(record["pages"]),
+                site=record["site"],
+                span_id=id_map.get(span_id, anchor),
+            )
+            if tr._keep:
+                tr.events.append(event)
+            for sink in tr.sinks:
+                sink.on_io(event)
+        else:
+            raise ValueError(f"unknown record type {kind!r}")
+        grafted += 1
+    return grafted

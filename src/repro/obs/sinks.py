@@ -21,7 +21,7 @@ from .registry import MetricsRegistry
 from .trace import IOEvent, SpanEvent
 
 __all__ = ["SnapshotSink", "JsonlSink", "load_jsonl", "replay",
-           "render_prometheus"]
+           "render_prometheus", "render_info"]
 
 
 def _jsonable(value):
@@ -72,6 +72,18 @@ class SnapshotSink:
     def snapshot(self):
         """The registry's JSON-serializable snapshot."""
         return self.registry.snapshot()
+
+    def reset(self):
+        """Zero every aggregate and re-stamp the kernel-tier gauge.
+
+        The sweep harness calls this between experiments so counters and
+        histograms never bleed across ``{stem}_metrics.json`` files.
+        """
+        from ..kernels import backend_name
+
+        self.registry.reset()
+        self.registry.gauge("kernels.numba").set(
+            1.0 if backend_name() == "numba" else 0.0)
 
     def phase_totals(self):
         """``{span name: total seconds}`` across everything observed."""
@@ -175,6 +187,40 @@ _PROM_NAME = re.compile(r"[^a-zA-Z0-9_]")
 def _prom_name(name, prefix):
     """A metric name sanitized to the Prometheus grammar."""
     return _PROM_NAME.sub("_", f"{prefix}_{name}")
+
+
+def _prom_label_value(value):
+    """A string escaped for use inside a Prometheus label value.
+
+    The exposition format requires backslash, double-quote, and newline
+    escapes; everything else passes through verbatim.
+    """
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def render_info(name, labels, prefix="repro"):
+    """An info-style metric: constant 1 with identity carried in labels.
+
+    ``render_info("build_info", {"git_sha": sha})`` produces the
+    conventional ``repro_build_info{git_sha="..."} 1`` sample used to
+    join provenance onto every scraped series. Label *names* are
+    sanitized to the metric grammar; label *values* are escaped, so
+    hostnames or versions containing quotes, backslashes, or newlines
+    stay parseable.
+    """
+    pname = _prom_name(name, prefix)
+
+    def label_name(key):
+        key = _PROM_NAME.sub("_", str(key))
+        return key if key[:1].isalpha() or key[:1] == "_" else f"_{key}"
+
+    body = ",".join(
+        f'{label_name(key)}="{_prom_label_value(value)}"'
+        for key, value in labels.items()
+    )
+    return (f"# TYPE {pname} gauge\n"
+            f"{pname}{{{body}}} 1\n")
 
 
 def render_prometheus(registry, prefix="repro"):

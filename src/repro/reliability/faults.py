@@ -306,6 +306,11 @@ class FaultInjector:
             except TransientIOError:
                 if attempt >= self.retry.max_retries:
                     self.metrics.counter(f"reliability.giveup.{site}").inc()
+                    from ..obs import flight
+
+                    flight.note("retry_giveup", site=site,
+                                attempts=attempt + 1, seed=self.seed)
+                    flight.dump("retry_giveup", extra={"site": site})
                     raise
                 self.metrics.counter(f"reliability.retry.{site}").inc()
                 if delay:

@@ -42,8 +42,9 @@ from ..core.params import design_params
 from ..core.results import QueryResult, QueryStats
 from ..core.scaling import resolve_base_radius
 from ..hashing.pstable import PStableFamily
-from ..obs import trace
+from ..obs import flight, trace
 from ..obs.registry import MetricsRegistry
+from ..obs.remote import graft
 from ..reliability.faults import FaultPlan
 from ..storage.pages import DEFAULT_PAGE_SIZE
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
@@ -409,6 +410,25 @@ class ShardedC2LSH:
         """The engine's ``shard.*`` metrics as one serializable dict."""
         return self.metrics.snapshot()
 
+    def _fold_metrics(self, deltas):
+        """Merge worker counter deltas into the coordinator registry.
+
+        Workers key counters by shard id (``shard.worker.<sid>.*``), so
+        adding the deltas is commutative across hosts and rounds and the
+        coordinator's ``/metrics`` surface shows true per-shard totals.
+        """
+        for name, delta in deltas.items():
+            self.metrics.counter(name).inc(delta)
+
+    def explain(self, query, k=1):
+        """Trace one query end to end; returns a
+        :class:`repro.core.explain.ShardedQueryExplanation` with the
+        coordinator's round timeline and the grafted per-shard worker
+        spans (shard id, worker pid, kernel tier, pages, candidates)."""
+        from ..core.explain import explain_sharded
+
+        return explain_sharded(self, query, k=k)
+
     # -- querying ------------------------------------------------------------
 
     def query(self, query, k=1, budget=None):
@@ -499,8 +519,9 @@ class ShardedC2LSH:
                 with trace.span("shard.round", radius=int(radius),
                                 active=int(active.size)) as rspan:
                     t_round = time.perf_counter()
+                    collect = trace.active()
                     worker_payloads = self._runner.broadcast(
-                        "batch_round", sid, int(radius), active)
+                        "batch_round", sid, int(radius), active, collect)
                     self.metrics.counter("shard.fanout.tasks").inc(
                         len(worker_payloads))
                     payloads = sorted(
@@ -511,6 +532,12 @@ class ShardedC2LSH:
                     final_radius[active] = radius
                     exhausted = np.ones(active.size, dtype=bool)
                     for p in payloads:
+                        if p.spans:
+                            # Worker-side subtree, stamped shard/pid/
+                            # kernels; grafts under this shard.round span.
+                            graft(p.spans)
+                        if p.metrics:
+                            self._fold_metrics(p.metrics)
                         scanned[active] += p.scanned
                         io_reads[active] += p.io_pages
                         exhausted &= p.exhausted
@@ -566,6 +593,13 @@ class ShardedC2LSH:
                             budget_cap[q] = ("candidates" if cand_hit[i]
                                              else "io_pages" if io_hit[i]
                                              else "deadline")
+                            flight.note(
+                                "budget_exhausted", engine="sharded",
+                                query=q, cap=budget_cap[q],
+                                radius=int(radius),
+                                candidates=int(n_cand[q]),
+                                io_pages=int(io_reads[q]),
+                            )
                         done |= over
                     finished = active[done]
                     if finished.size:
@@ -580,6 +614,16 @@ class ShardedC2LSH:
                     radius *= c
         finally:
             self._runner.broadcast("batch_end", sid)
+
+        tripped = [q for q in range(n_queries) if budget_cap[q]]
+        if tripped:
+            flight.dump("budget_exhausted", extra={
+                "engine": "sharded",
+                "queries": tripped,
+                "caps": sorted({budget_cap[q] for q in tripped}),
+                "shards": self.n_shards,
+                "workers": self.n_workers,
+            })
 
         results = []
         for q in range(n_queries):
@@ -651,12 +695,17 @@ class ShardedC2LSH:
                     worker = self._shard_worker[int(shard_id)]
                     verify_req[worker].setdefault(int(shard_id), {})[q] = \
                         gids[shard_of == shard_id]
+            collect = trace.active()
             answers = self._runner.scatter(
                 "fallback_verify",
-                [(sid, req) for req in verify_req])
+                [(sid, req, collect) for req in verify_req])
             merged = {}
             for worker in answers:
-                merged.update(worker)
+                if worker.get("spans"):
+                    graft(worker["spans"])
+                if worker.get("metrics"):
+                    self._fold_metrics(worker["metrics"])
+                merged.update(worker["answers"])
 
             for q, gids in selected.items():
                 dists = np.empty(gids.size, dtype=np.float64)

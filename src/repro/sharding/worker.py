@@ -19,6 +19,7 @@ per-shard observations that the lockstep batch engine applies to its own.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -27,7 +28,12 @@ import numpy as np
 from ..core.batchengine import BatchQueryCounter
 from ..core.counting import CollisionCounter
 from ..kernels import backend as _kernels_backend
+from ..kernels import backend_name
 from ..hashing.pstable import PStableFamily, PStableFunctions
+from ..obs import trace
+from ..obs.registry import Counter, MetricsRegistry
+from ..obs.remote import export_events
+from ..obs.trace import tracing
 from ..reliability.faults import FaultInjector, FaultPlan
 from ..storage.datafile import DataFile
 from ..storage.pages import PageManager
@@ -83,6 +89,13 @@ class RoundPayload:
     ``qpos`` indexes into the round's *active* array; ``ids`` are global
     object ids (shard offset already applied) sorted ascending within each
     query, exactly the order the unsharded engine verifies them in.
+
+    ``spans`` (present when the coordinator asked for collection) is the
+    shard's span subtree for this round, exported with
+    :func:`repro.obs.remote.export_events` and stamped worker-side with
+    shard id, pid, and kernel tier; the coordinator grafts it into its
+    live trace. ``metrics`` piggybacks the host's counter deltas since
+    the last report (attached to one payload per host call).
     """
 
     shard_id: int
@@ -93,6 +106,8 @@ class RoundPayload:
     io_pages: np.ndarray
     exhausted: np.ndarray
     seconds: float = 0.0
+    spans: list = None
+    metrics: dict = None
 
 
 @dataclass
@@ -171,6 +186,10 @@ class ShardHost:
             self._full = np.asarray(config.data)
         self._shards = {}
         self._sessions = {}
+        # Host-local telemetry: counters accumulate here and ship to the
+        # coordinator as deltas piggybacked on round payloads.
+        self.metrics = MetricsRegistry()
+        self._shipped = {}
 
     # -- build ---------------------------------------------------------------
 
@@ -204,47 +223,105 @@ class ShardHost:
             )
         return True
 
-    def batch_round(self, session_id, radius, active):
+    def batch_round(self, session_id, radius, active, collect=False):
         """Advance every hosted shard one radius round for ``active``.
 
         Returns one :class:`RoundPayload` per shard. Counting, threshold
         crossing and verification mirror one round of
         :func:`repro.core.batchengine.batch_query` exactly, restricted to
         the shard's rows.
+
+        When ``collect`` is true (the coordinator's trace is live) each
+        shard's round runs inside a local span capture; the exported
+        subtree — stamped with shard id, worker pid and kernel tier —
+        ships back on the payload for the coordinator to graft.
         """
         payloads = []
         for shard_id in sorted(self._shards):
-            shard = self._shards[shard_id]
-            session = self._sessions[(session_id, shard_id)]
-            started = time.perf_counter()
-            scanned, pages = session.counter.expand(radius, active)
-            io_pages = (pages if pages is not None
-                        else np.zeros(active.size, dtype=np.int64))
-            qpos, fresh = session.counter.crossings(self.config.l)
-            dists = np.empty(fresh.size, dtype=np.float64)
-            if fresh.size:
-                bounds = np.searchsorted(qpos, np.arange(active.size + 1))
-                for i in range(active.size):
-                    s, e = int(bounds[i]), int(bounds[i + 1])
-                    if e <= s:
-                        continue
-                    ids = fresh[s:e]
-                    vecs, io = self._read(shard, ids)
-                    io_pages[i] += io
-                    dists[s:e] = shard.family.distance(
-                        vecs, session.queries[active[i]])
-                    session.is_candidate[active[i], ids] = True
-            payloads.append(RoundPayload(
-                shard_id=shard_id,
-                qpos=qpos,
-                ids=fresh + shard.offset,
-                dists=dists,
-                scanned=scanned,
-                io_pages=io_pages,
-                exhausted=session.counter.exhausted_mask(active),
-                seconds=time.perf_counter() - started,
-            ))
+            if collect:
+                with tracing() as local:
+                    with trace.span(
+                        "shard.worker.round",
+                        shard=shard_id,
+                        radius=int(radius),
+                        pid=os.getpid(),
+                        kernels=backend_name(),
+                    ) as wspan:
+                        payload = self._shard_round(
+                            session_id, shard_id, radius, active)
+                        wspan.set(
+                            pages=int(payload.io_pages.sum()),
+                            candidates=int(payload.ids.size),
+                            scanned=int(payload.scanned.sum()),
+                        )
+                payload.spans = export_events(local.events)
+            else:
+                payload = self._shard_round(
+                    session_id, shard_id, radius, active)
+            self._note_round(shard_id, payload)
+            payloads.append(payload)
+        if payloads:
+            payloads[0].metrics = self._counter_deltas()
         return payloads
+
+    def _shard_round(self, session_id, shard_id, radius, active):
+        """One shard's expand/cross/verify for one radius round."""
+        shard = self._shards[shard_id]
+        session = self._sessions[(session_id, shard_id)]
+        started = time.perf_counter()
+        scanned, pages = session.counter.expand(radius, active)
+        io_pages = (pages if pages is not None
+                    else np.zeros(active.size, dtype=np.int64))
+        qpos, fresh = session.counter.crossings(self.config.l)
+        dists = np.empty(fresh.size, dtype=np.float64)
+        if fresh.size:
+            bounds = np.searchsorted(qpos, np.arange(active.size + 1))
+            for i in range(active.size):
+                s, e = int(bounds[i]), int(bounds[i + 1])
+                if e <= s:
+                    continue
+                ids = fresh[s:e]
+                vecs, io = self._read(shard, ids)
+                io_pages[i] += io
+                dists[s:e] = shard.family.distance(
+                    vecs, session.queries[active[i]])
+                session.is_candidate[active[i], ids] = True
+        return RoundPayload(
+            shard_id=shard_id,
+            qpos=qpos,
+            ids=fresh + shard.offset,
+            dists=dists,
+            scanned=scanned,
+            io_pages=io_pages,
+            exhausted=session.counter.exhausted_mask(active),
+            seconds=time.perf_counter() - started,
+        )
+
+    def _note_round(self, shard_id, payload):
+        """Fold one round's numbers into the host-local registry."""
+        self.metrics.counter(f"shard.worker.{shard_id}.rounds").inc()
+        self.metrics.counter(f"shard.worker.{shard_id}.io.pages").inc(
+            int(payload.io_pages.sum()))
+        self.metrics.counter(f"shard.worker.{shard_id}.candidates").inc(
+            int(payload.ids.size))
+
+    def _counter_deltas(self):
+        """Counter movement since the last report, or ``None``.
+
+        Only deltas travel, so the coordinator can fold them into its own
+        registry with plain ``inc()`` regardless of how many broadcasts a
+        batch takes. Shard ids live in the metric *names*, keeping the
+        merge trivially commutative across hosts.
+        """
+        deltas = {}
+        for name, metric in self.metrics:
+            if not isinstance(metric, Counter):
+                continue
+            prev = self._shipped.get(name, 0)
+            if metric.value != prev:
+                deltas[name] = metric.value - prev
+                self._shipped[name] = metric.value
+        return deltas or None
 
     def fallback_candidates(self, session_id, requests):
         """Best-counted unverified objects per query, for the global merge.
@@ -271,24 +348,53 @@ class ShardHost:
             out[shard_id] = per_query
         return out
 
-    def fallback_verify(self, session_id, requests):
+    def fallback_verify(self, session_id, requests, collect=False):
         """Verify globally selected fallback ids; returns dists + I/O.
 
         ``requests`` maps shard id → {query → global ids}, each id list in
-        the coordinator's merged order.
+        the coordinator's merged order. Returns ``{"answers": {shard_id:
+        {query: (dists, io)}}, "spans": [...], "metrics": {...}}`` —
+        fallback verification reads real pages, so its spans and counter
+        deltas travel exactly like round payloads do.
         """
         out = {}
+        spans = []
         for shard_id, per_query in requests.items():
-            shard = self._shards[shard_id]
-            session = self._sessions[(session_id, shard_id)]
-            answers = {}
-            for q, gids in per_query.items():
-                ids = np.asarray(gids, dtype=np.int64) - shard.offset
-                vecs, io = self._read(shard, ids)
-                answers[q] = (shard.family.distance(vecs,
-                                                    session.queries[q]), io)
+            if collect:
+                with tracing() as local:
+                    with trace.span(
+                        "shard.worker.fallback",
+                        shard=shard_id,
+                        pid=os.getpid(),
+                        kernels=backend_name(),
+                    ) as wspan:
+                        answers = self._shard_fallback_verify(
+                            session_id, shard_id, per_query)
+                        pages = sum(io for _, io in answers.values())
+                        wspan.set(pages=int(pages),
+                                  queries=len(per_query))
+                spans.extend(export_events(local.events))
+            else:
+                answers = self._shard_fallback_verify(
+                    session_id, shard_id, per_query)
+                pages = sum(io for _, io in answers.values())
+            self.metrics.counter(
+                f"shard.worker.{shard_id}.io.pages").inc(int(pages))
             out[shard_id] = answers
-        return out
+        return {"answers": out, "spans": spans,
+                "metrics": self._counter_deltas()}
+
+    def _shard_fallback_verify(self, session_id, shard_id, per_query):
+        """Verify one shard's fallback ids; ``{query: (dists, io)}``."""
+        shard = self._shards[shard_id]
+        session = self._sessions[(session_id, shard_id)]
+        answers = {}
+        for q, gids in per_query.items():
+            ids = np.asarray(gids, dtype=np.int64) - shard.offset
+            vecs, io = self._read(shard, ids)
+            answers[q] = (shard.family.distance(vecs,
+                                                session.queries[q]), io)
+        return answers
 
     def batch_end(self, session_id):
         """Drop the session's per-shard state."""

@@ -687,3 +687,28 @@ class TestHarnessResilience:
         with pytest.raises(KeyboardInterrupt):
             harness.main(["boom", "--out-dir", str(tmp_path)])
         assert not (tmp_path / "boom_error.json").exists()
+
+
+class TestFlightOnGiveup:
+    def test_giveup_writes_flight_postmortem(self, tmp_path):
+        import json
+
+        from repro.obs import FlightRecorder, flight
+
+        mine = FlightRecorder(capacity=16, directory=str(tmp_path),
+                              min_dump_interval_s=0.0)
+        old = flight.install(mine)
+        try:
+            fi = FaultInjector(_plan(FaultRule("s", "error", every=1)),
+                               retry=RetryPolicy(max_retries=1))
+            with pytest.raises(TransientIOError):
+                fi.guard("s")
+        finally:
+            flight.install(old)
+        events = [e for e in mine.events() if e["kind"] == "retry_giveup"]
+        assert events and events[0]["site"] == "s"
+        assert events[0]["attempts"] == 2
+        dumps = sorted(tmp_path.glob("flight_retry_giveup_*.json"))
+        assert dumps
+        payload = json.loads(dumps[0].read_text())
+        assert payload["extra"] == {"site": "s"}

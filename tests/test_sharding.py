@@ -328,3 +328,158 @@ def test_load_onto_process_workers(tiny, tmp_path):
         path = eng.save(tmp_path / "sharded")
     with load_sharded(path, n_workers=2) as restored:
         _assert_same_results(expected, restored.query_batch(queries, k=5))
+
+
+# -- cross-process observability (PR 7) --------------------------------------
+
+
+def _worker_span_events(tr):
+    from repro.obs import SpanEvent
+
+    return [e for e in tr.events if isinstance(e, SpanEvent)
+            and e.name.startswith("shard.worker.")]
+
+
+def test_worker_spans_propagate_with_identity(tiny):
+    """Per-shard spans carry shard id, pid and kernel tier, stitched in."""
+    import os
+
+    from repro.obs import SpanEvent, tracing
+
+    data, queries = tiny
+    with ShardedC2LSH(n_shards=3, n_workers=0, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        with tracing() as tr:
+            eng.query_batch(queries, k=5)
+    spans = _worker_span_events(tr)
+    assert spans
+    round_spans = [e for e in spans if e.name == "shard.worker.round"]
+    assert {e.attrs["shard"] for e in round_spans} == {0, 1, 2}
+    assert all(e.attrs["pid"] == os.getpid() for e in spans)  # serial mode
+    assert all(e.attrs["kernels"] in ("numpy", "numba") for e in spans)
+    # Every worker span is parented inside the coordinator's trace.
+    span_ids = {e.span_id for e in tr.events if isinstance(e, SpanEvent)}
+    assert all(e.parent_id in span_ids for e in spans)
+
+
+def test_worker_span_pages_sum_to_query_totals(tiny):
+    """Acceptance: per-shard page counts sum to the coordinator totals."""
+    from repro.obs import tracing
+
+    data, queries = tiny
+    with ShardedC2LSH(n_shards=3, n_workers=0, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        with tracing() as tr:
+            results = eng.query_batch(queries, k=5)
+        span_pages = sum(e.attrs.get("pages", 0)
+                         for e in _worker_span_events(tr))
+        stats_pages = sum(r.stats.io_reads for r in results)
+        assert span_pages == stats_pages > 0
+        assert eng.metrics.counter("shard.io.pages").value == stats_pages
+        # The worker-shipped per-shard counters agree with the total too.
+        per_shard = {name: metric.value for name, metric in eng.metrics
+                     if name.startswith("shard.worker.")
+                     and name.endswith(".io.pages")}
+        assert len(per_shard) == 3
+        assert sum(per_shard.values()) == stats_pages
+
+
+def test_worker_counters_fold_even_untraced(tiny):
+    """Counter deltas ship with every round, tracing active or not."""
+    data, queries = tiny
+    with ShardedC2LSH(n_shards=2, n_workers=0, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        eng.query_batch(queries, k=5)
+        snapshot = eng.telemetry_snapshot()
+    assert snapshot["shard.worker.0.rounds"] >= 1
+    assert snapshot["shard.worker.1.rounds"] >= 1
+    assert snapshot["shard.worker.0.io.pages"] > 0
+
+
+def test_worker_spans_jsonl_round_trip(tiny, tmp_path):
+    """Grafted worker spans survive the JSONL round trip exactly."""
+    from repro.obs import JsonlSink, SnapshotSink, load_jsonl, replay, \
+        tracing
+
+    data, queries = tiny
+    path = tmp_path / "events.jsonl"
+    live = SnapshotSink()
+    with ShardedC2LSH(n_shards=2, n_workers=0, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        with tracing(live, JsonlSink(path)):
+            eng.query_batch(queries, k=5)
+    replayed, = replay(load_jsonl(path), SnapshotSink())
+    assert replayed.snapshot() == live.snapshot()
+    assert live.registry.counter(
+        "span.shard.worker.round.count").value > 0
+
+
+def test_explain_sharded_per_shard_rows(tiny):
+    data, queries = tiny
+    with ShardedC2LSH(n_shards=3, n_workers=0, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        explanation = eng.explain(queries[0], k=4)
+        with pytest.raises(ValueError, match="k must be positive"):
+            eng.explain(queries[0], k=0)
+        unsharded = C2LSH(seed=5, page_manager=PageManager()).fit(data)
+        expected = unsharded.query(queries[0], k=4)
+    assert explanation.spans
+    assert {s.shard for s in explanation.spans} <= {0, 1, 2}
+    assert sum(s.pages for s in explanation.spans) == explanation.io_reads
+    np.testing.assert_array_equal(explanation.result_ids, expected.ids)
+    rendered = explanation.render()
+    assert "shard" in rendered
+    assert "kernels" in rendered
+    assert "=>" in rendered
+
+
+def test_budget_trip_writes_flight_dump(tiny, tmp_path):
+    """Acceptance: a budget-exhausted query leaves a postmortem the
+    ``python -m repro.obs`` CLI can summarize."""
+    import json
+
+    from repro.obs import FlightRecorder, flight
+    from repro.obs.__main__ import main as obs_main
+
+    data, queries = tiny
+    mine = FlightRecorder(capacity=64, directory=str(tmp_path),
+                          min_dump_interval_s=0.0)
+    old = flight.install(mine)
+    try:
+        with ShardedC2LSH(n_shards=2, n_workers=0, seed=3,
+                          page_accounting=True).fit(data) as eng:
+            results = eng.query_batch(queries, k=3,
+                                      budget=QueryBudget(max_io_pages=1))
+    finally:
+        flight.install(old)
+    assert any(r.stats.budget_exhausted for r in results)
+    dumps = sorted(tmp_path.glob("flight_budget_exhausted_*.json"))
+    assert dumps
+    payload = json.loads(dumps[0].read_text())
+    assert payload["reason"] == "budget_exhausted"
+    assert payload["extra"]["engine"] == "sharded"
+    assert any(e["kind"] == "budget_exhausted" for e in payload["events"])
+    assert obs_main([str(dumps[0])]) == 0
+
+
+@pytest.mark.shard
+def test_worker_spans_propagate_across_processes(tiny):
+    """Spans recorded in real worker processes reach the coordinator."""
+    import os
+
+    from repro.obs import tracing
+
+    data, queries = tiny
+    with ShardedC2LSH(n_shards=4, n_workers=2, seed=5,
+                      page_accounting=True).fit(data) as eng:
+        with tracing() as tr:
+            results = eng.query_batch(queries, k=5)
+    spans = [e for e in _worker_span_events(tr)
+             if e.name == "shard.worker.round"]
+    assert {e.attrs["shard"] for e in spans} == {0, 1, 2, 3}
+    pids = {e.attrs["pid"] for e in spans}
+    assert os.getpid() not in pids      # recorded worker-side
+    assert len(pids) == 2               # one pid per worker pool
+    span_pages = sum(e.attrs.get("pages", 0)
+                     for e in _worker_span_events(tr))
+    assert span_pages == sum(r.stats.io_reads for r in results)
