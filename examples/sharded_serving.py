@@ -8,7 +8,11 @@ A production-shaped tour of :class:`repro.ShardedC2LSH`:
    :class:`~repro.reliability.QueryBudget` — queries that can't finish
    their radius rounds in time degrade gracefully to their best verified
    candidates instead of blocking the stream;
-3. print the engine's aggregated ``shard.*`` telemetry snapshot.
+3. ``SIGKILL`` a worker process mid-stream and keep serving — the
+   supervisor respawns it and replays its session, so answers stay
+   bit-identical through real process death;
+4. print the engine's aggregated ``shard.*`` telemetry snapshot,
+   failover counters included.
 
 Results are bit-identical to an unsharded index (the script spot-checks
 this on the first batch), so sharding is purely a deployment decision.
@@ -17,6 +21,8 @@ Run:  python examples/sharded_serving.py
 """
 
 import json
+import os
+import signal
 import time
 
 import numpy as np
@@ -71,7 +77,24 @@ with engine:
           f"({served / elapsed:.1f} q/s), {degraded} degraded by the "
           f"{budget.deadline_s * 1e3:.0f}ms deadline")
 
-    # 3. Aggregated telemetry: every engine phase lands under shard.*.
+    # 3. Chaos: SIGKILL one worker mid-stream. The default failover
+    # policy ("rebuild") detects the broken pool on the next call,
+    # respawns the worker from the retained config (the dataset is still
+    # in shared memory), replays the block's completed rounds, and the
+    # answer comes back bit-identical — the stream never sees the death.
+    reference = engine.query_batch(stream[:8], k=K)
+    victim = engine.worker_pids()[0]
+    os.kill(victim, signal.SIGKILL)
+    print(f"\nSIGKILL worker 0 (pid {victim}) mid-stream...")
+    healed = engine.query_batch(stream[:8], k=K)
+    assert all(np.array_equal(a.ids, b.ids)
+               for a, b in zip(reference, healed))
+    assert not any(r.stats.degraded for r in healed)
+    print(f"healed: identical top-k, worker 0 respawned as "
+          f"pid {engine.worker_pids()[0]}")
+
+    # 4. Aggregated telemetry: every engine phase lands under shard.*,
+    # and the failover above under shard.failover.*.
     snapshot = engine.telemetry_snapshot()
     print("\ntelemetry snapshot:")
     for name in sorted(snapshot):

@@ -38,8 +38,9 @@ from .reliability import (
     QueryBudget,
     RetryPolicy,
     TransientIOError,
+    WorkerFailureError,
 )
-from .sharding import ShardedC2LSH, default_parallelism
+from .sharding import FailoverPolicy, ShardedC2LSH, default_parallelism
 from .storage import PageManager
 
 __version__ = "1.0.0"
@@ -67,8 +68,10 @@ __all__ = [
     "RetryPolicy",
     "TransientIOError",
     "CorruptIndexError",
+    "WorkerFailureError",
     "DurableUpdatableC2LSH",
     "ShardedC2LSH",
+    "FailoverPolicy",
     "default_parallelism",
     "__version__",
 ]

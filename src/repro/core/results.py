@@ -35,13 +35,21 @@ class QueryStats:
         query's observed latency inside its batch (not a per-query share
         of the batch total).
     degraded:
-        True when a :class:`repro.reliability.QueryBudget` was exhausted
-        and the result is best-effort: the verified candidates collected
-        up to ``final_radius`` (the achieved radius) rather than a full
-        search. Always False for unbudgeted queries.
+        True when the result is best-effort rather than a full search:
+        a :class:`repro.reliability.QueryBudget` cap tripped
+        (``budget_exhausted`` names it), or — on the sharded engine —
+        one or more shards were lost to worker failure while the query
+        ran (``failed_shards`` names them). Always False for unbudgeted
+        queries on healthy deployments.
     budget_exhausted:
         Which budget cap tripped (``"deadline"``, ``"io_pages"`` or
-        ``"candidates"``); empty when not degraded.
+        ``"candidates"``); empty when no cap tripped.
+    failed_shards:
+        Shard ids whose rows could not contribute to this answer because
+        their worker was dead or quarantined while the query was active
+        (sharded engine, ``on_worker_failure="degrade"`` or a tripped
+        circuit breaker). Empty on healthy deployments and under the
+        ``"rebuild"`` policy, whose answers are never degraded.
     """
 
     rounds: int = 0
@@ -54,6 +62,7 @@ class QueryStats:
     elapsed_s: float = 0.0
     degraded: bool = False
     budget_exhausted: str = ""
+    failed_shards: tuple = ()
 
 
 @dataclass

@@ -16,6 +16,10 @@ Dump triggers wired through the engines:
   QueryBudget` cap (sequential, batch, and sharded paths);
 * ``retry_giveup`` — a :class:`~repro.reliability.FaultInjector` retry
   budget ran out;
+* ``worker_failure`` — the sharded engine's supervisor lost a worker
+  (broken pool, missed deadline, injected exit); the postmortem carries
+  the per-worker causes, the failover policy in force, and the dead
+  worker/shard sets at decision time;
 * ``experiment_failure`` — the eval harness contained an experiment crash.
 
 Dumps are rate-limited per reason (default one per 60 s) so a degradation

@@ -17,13 +17,25 @@ Production indexes fail in three ways this package makes first-class:
   atomically (temp file + fsync + rename) and verifies per-array CRC32
   checksums on load, raising :class:`CorruptIndexError` naming the
   damaged section.
+* **Dead or stuck worker processes** — ``"exit"`` fault rules at the
+  ``worker_exit.*`` sites make worker death chaos-injectable at every
+  step of the sharded engine's protocol; the engine's supervision layer
+  (:mod:`repro.sharding.supervisor`) detects the loss (broken pool,
+  missed deadline, failed heartbeat) and applies a configurable failover
+  policy — respawn-and-replay, degrade to surviving shards, or raise
+  :class:`WorkerFailureError`.
 
 See ``docs/RELIABILITY.md`` for the fault-plan schema, budget semantics,
 and the degraded-result contract.
 """
 
 from .budget import BudgetTracker, QueryBudget
-from .errors import CorruptIndexError, TransientIOError
+from .errors import (
+    CorruptIndexError,
+    InjectedWorkerExit,
+    TransientIOError,
+    WorkerFailureError,
+)
 from .faults import (
     CORRUPT_MODES,
     KINDS,
@@ -42,6 +54,8 @@ __all__ = [
     "BudgetTracker",
     "TransientIOError",
     "CorruptIndexError",
+    "WorkerFailureError",
+    "InjectedWorkerExit",
     "KINDS",
     "CORRUPT_MODES",
 ]

@@ -69,6 +69,20 @@ class QueryBudget:
                 f"max_candidates must be >= 1, got {self.max_candidates}"
             )
 
+    def remaining_s(self, started, now=None):
+        """Wall-clock seconds left before ``deadline_s``, or ``None``.
+
+        ``started`` is the query's ``time.perf_counter()`` entry stamp.
+        Returns ``None`` when the budget has no deadline; never negative.
+        The sharded engine's supervision layer uses this to derive
+        per-call deadlines on the worker protocol (remaining budget plus
+        the engine's round timeout).
+        """
+        if self.deadline_s is None:
+            return None
+        now = now if now is not None else time.perf_counter()
+        return max(0.0, self.deadline_s - (now - started))
+
     def start(self, page_manager=None, started=None):
         """Begin tracking one query; returns a :class:`BudgetTracker`.
 

@@ -1,6 +1,6 @@
 """Typed failures of the reliability layer.
 
-Two failure families exist in this repository:
+Three failure families exist in this repository:
 
 * **Transient** — an I/O operation failed but retrying may succeed
   (:class:`TransientIOError`). These are raised by the fault injector at
@@ -11,6 +11,18 @@ Two failure families exist in this repository:
   (:class:`CorruptIndexError`). Retrying cannot help; the error names the
   damaged section so operators know whether the container, the manifest,
   or a specific array is at fault.
+* **Process loss** — a shard worker died or stopped responding
+  (:class:`WorkerFailureError`). The sharded engine's supervision layer
+  (:mod:`repro.sharding.supervisor`) normally absorbs these by respawning
+  the worker or degrading the answer; the error only reaches callers
+  under the ``"raise"`` failure policy, and it carries the per-worker
+  causes plus whatever partial results were gathered before raising.
+
+:class:`InjectedWorkerExit` is the chaos-side companion of process loss:
+an ``"exit"`` fault rule firing at a ``worker_exit.*`` site raises it,
+and :class:`repro.sharding.worker.ShardHost` translates it into a real
+``os._exit`` when running inside a worker process (in-process hosts let
+it propagate so the serial runner can simulate the death).
 
 ``CorruptIndexError`` subclasses :class:`ValueError` so existing callers
 that guard index loading with ``except ValueError`` keep working.
@@ -18,7 +30,8 @@ that guard index loading with ``except ValueError`` keep working.
 
 from __future__ import annotations
 
-__all__ = ["TransientIOError", "CorruptIndexError"]
+__all__ = ["TransientIOError", "CorruptIndexError", "WorkerFailureError",
+           "InjectedWorkerExit"]
 
 
 class TransientIOError(OSError):
@@ -71,3 +84,48 @@ class CorruptIndexError(ValueError):
         if detail:
             message += f" ({detail})"
         super().__init__(message)
+
+
+class WorkerFailureError(RuntimeError):
+    """One or more shard workers died, hung, or could not be reached.
+
+    Attributes
+    ----------
+    method:
+        The worker-protocol call that failed (``"build"``,
+        ``"batch_round"``, ``"fallback_verify"``, ...).
+    failures:
+        ``{worker index: cause}`` where cause is ``"broken_pool"`` (the
+        process died), ``"timeout"`` (the call missed its deadline),
+        ``"worker_exit"`` (a simulated in-process death), or ``"dead"``
+        (the worker was already out of service).
+    results:
+        Whatever the *surviving* workers returned for the same call,
+        keyed by worker index — the raw material for degraded answers.
+    """
+
+    def __init__(self, method, failures, results=None):
+        self.method = str(method)
+        self.failures = dict(failures)
+        self.results = dict(results or {})
+        workers = ", ".join(f"{w}: {c}" for w, c
+                            in sorted(self.failures.items()))
+        super().__init__(
+            f"worker failure during {self.method!r} ({workers})")
+
+
+class InjectedWorkerExit(Exception):
+    """An ``"exit"`` fault rule fired: this worker should die now.
+
+    Raised by :meth:`repro.reliability.FaultInjector.check` at
+    ``worker_exit.*`` sites. Inside a real worker process the host
+    converts it into ``os._exit``; in-process hosts let it escape so the
+    serial runner can treat the host as dead without killing the test
+    process.
+    """
+
+    def __init__(self, site, op=0):
+        self.site = str(site)
+        self.op = int(op)
+        super().__init__(
+            f"injected worker exit at site {self.site!r} (op {self.op})")

@@ -37,13 +37,13 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from ..obs.registry import MetricsRegistry
-from .errors import TransientIOError
+from .errors import InjectedWorkerExit, TransientIOError
 
 __all__ = ["FaultRule", "FaultPlan", "RetryPolicy", "FaultInjector",
            "KINDS", "CORRUPT_MODES"]
 
 #: Fault kinds a rule may inject.
-KINDS = ("error", "latency", "corrupt")
+KINDS = ("error", "latency", "corrupt", "exit")
 
 #: Supported corruption transforms (see :meth:`FaultInjector.corrupt`).
 CORRUPT_MODES = ("zero", "bias", "noise")
@@ -57,10 +57,17 @@ class FaultRule:
     ----------
     site:
         Charge site the rule applies to, or ``"*"`` for every site.
+        The sharded engine's hosts additionally consult the injector at
+        ``worker_exit.<step>`` sites (one per worker-protocol step:
+        ``worker_exit.build``, ``worker_exit.batch_round``, ...), which
+        is where ``"exit"`` and stuck-worker ``"latency"`` rules belong.
     kind:
         ``"error"`` (raise :class:`TransientIOError`), ``"latency"``
-        (sleep ``latency_s``), or ``"corrupt"`` (transform returned
-        data).
+        (sleep ``latency_s``), ``"corrupt"`` (transform returned data),
+        or ``"exit"`` (raise :class:`InjectedWorkerExit` — a
+        :class:`repro.sharding.worker.ShardHost` running in a real worker
+        process converts it into ``os._exit``, i.e. sudden process
+        death).
     probability:
         Chance of firing per matching operation (ignored when ``every``
         is set). ``1.0`` fires on every operation.
@@ -81,6 +88,12 @@ class FaultRule:
         ``"noise"`` (add seeded Gaussian noise of scale ``amount``).
     amount:
         Magnitude parameter of ``"bias"`` / ``"noise"``.
+    worker:
+        Scope the rule to one worker of a multi-worker deployment (the
+        :class:`~repro.sharding.ShardedC2LSH` worker index). ``None``
+        applies everywhere. Hosts other than the named worker drop the
+        rule entirely, which is how a chaos plan kills exactly one
+        process out of a fleet deterministically.
     """
 
     site: str
@@ -92,6 +105,7 @@ class FaultRule:
     latency_s: float = 0.0
     mode: str = "zero"
     amount: float = 1.0
+    worker: int | None = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -119,6 +133,8 @@ class FaultRule:
                 f"unknown corruption mode {self.mode!r}; "
                 f"available: {CORRUPT_MODES}"
             )
+        if self.worker is not None and self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
 
     def matches(self, site):
         """Whether this rule applies to operations at ``site``."""
@@ -268,7 +284,9 @@ class FaultInjector:
     def check(self, site):
         """One raw operation at ``site``: may sleep, may raise.
 
-        Raises :class:`TransientIOError` when an ``"error"`` rule fires.
+        Raises :class:`TransientIOError` when an ``"error"`` rule fires
+        and :class:`InjectedWorkerExit` when an ``"exit"`` rule fires
+        (the shard hosts translate the latter into real process death).
         Callers that want the bounded retry semantics use :meth:`guard`
         instead; :meth:`check` is the single-attempt primitive.
         """
@@ -276,7 +294,7 @@ class FaultInjector:
             return
         op = self._next_op("io", site)
         self.metrics.counter(f"reliability.ops.{site}").inc()
-        for rule in self.plan.for_site(site, ("latency", "error")):
+        for rule in self.plan.for_site(site, ("latency", "error", "exit")):
             if not self._fires(rule, op):
                 continue
             self.metrics.counter(
@@ -284,6 +302,8 @@ class FaultInjector:
             if rule.kind == "latency":
                 if rule.latency_s:
                     time.sleep(rule.latency_s)
+            elif rule.kind == "exit":
+                raise InjectedWorkerExit(site, op)
             else:
                 raise TransientIOError(site, op)
 

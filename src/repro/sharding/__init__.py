@@ -9,6 +9,13 @@ ties included, to an unsharded :class:`repro.core.c2lsh.C2LSH` over the
 same data and seed. ``n_workers=0`` selects an in-process serial executor
 with identical semantics.
 
+The engine is self-healing: a :class:`WorkerSupervisor` puts deadlines on
+every protocol call, detects dead or stuck workers, and applies a
+:class:`FailoverPolicy` — respawn-and-replay for bit-identical answers
+(``"rebuild"``), partial results from surviving shards (``"degrade"``),
+or fail-fast (``"raise"``) — with a circuit breaker quarantining workers
+that keep dying. See ``docs/RELIABILITY.md``.
+
 :func:`default_parallelism` is the repository's one source of truth for
 "how wide should a parallel fan-out be"; both this engine and
 ``C2LSH.query_batch(n_jobs=None)`` resolve their defaults through it.
@@ -17,6 +24,7 @@ with identical semantics.
 from .engine import ShardedC2LSH
 from .persist import load_sharded, save_sharded
 from .plan import assign_shards, default_parallelism, shard_offsets
+from .supervisor import CircuitBreaker, FailoverPolicy, WorkerSupervisor
 from .worker import ShardSpec
 
 __all__ = [
@@ -27,4 +35,7 @@ __all__ = [
     "shard_offsets",
     "assign_shards",
     "ShardSpec",
+    "FailoverPolicy",
+    "CircuitBreaker",
+    "WorkerSupervisor",
 ]

@@ -26,6 +26,21 @@ builds its shards over zero-copy slice views — no per-task pickling of the
 data matrix. ``n_workers=0`` runs the identical protocol in-process (no
 pools, no shared memory) so tests and small indexes pay no process
 overhead.
+
+Worker death is survivable. Every protocol call runs under a deadline
+derived from the active query budget plus the failover policy's round
+timeout, and a :class:`repro.sharding.supervisor.WorkerSupervisor`
+dispatches failures (broken pool, missed deadline, injected exit) to a
+configurable policy: ``"rebuild"`` respawns the worker from its retained
+config — the shared-memory segment is still alive at the coordinator —
+replays the current lockstep session onto it and retries the failed call,
+keeping answers bit-identical; ``"degrade"`` answers from surviving
+shards, marking ``QueryStats.degraded`` and naming the lost shards in
+``QueryStats.failed_shards``; ``"raise"`` fails fast with
+:class:`repro.reliability.WorkerFailureError`. A circuit breaker
+quarantines a worker that keeps dying (served around, degraded, while a
+background respawn heals it), and every failover leaves a flight-recorder
+postmortem plus ``shard.failover.*`` metrics.
 """
 
 from __future__ import annotations
@@ -34,6 +49,8 @@ import itertools
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
@@ -45,10 +62,12 @@ from ..hashing.pstable import PStableFamily
 from ..obs import flight, trace
 from ..obs.registry import MetricsRegistry
 from ..obs.remote import graft
+from ..reliability.errors import InjectedWorkerExit, WorkerFailureError
 from ..reliability.faults import FaultPlan
 from ..storage.pages import DEFAULT_PAGE_SIZE
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from .plan import assign_shards, default_parallelism, shard_offsets
+from .supervisor import FailoverPolicy, WorkerSupervisor, protocol_timeout
 from .worker import HostConfig, ShardHost, ShardSpec, _call_host, _init_host
 
 __all__ = ["ShardedC2LSH"]
@@ -64,33 +83,73 @@ class _SerialRunner:
     ``order`` is a test hook: a permutation of host indices controlling
     *execution* order. Results are always returned keyed by host index,
     which is how the engine's merges stay independent of scheduling.
+
+    Failure semantics mirror the process backend closely enough for the
+    supervision layer to be exercised without processes: an
+    :class:`InjectedWorkerExit` escaping a host "kills" it (the slot is
+    cleared and reported as ``"worker_exit"``) and the slot answers
+    ``"dead"`` until :meth:`respawn` installs a fresh host. Timeouts are
+    accepted but inert — an in-process call cannot be preempted.
     """
 
     def __init__(self, configs, order=None):
         self._hosts = [ShardHost(config) for config in configs]
         self.order = order
 
-    def _sequence(self):
+    def _sequence(self, workers):
         if self.order is None:
-            return range(len(self._hosts))
-        return self.order
+            return list(workers)
+        selected = set(workers)
+        return [i for i in self.order if i in selected]
+
+    def run(self, method, args_for, workers, timeout=None):
+        """Execute ``method`` on each worker; ``(results, failures)``.
+
+        Application exceptions re-raise only after every requested host
+        has run, matching the process backend's full-gather contract.
+        """
+        results, failures = {}, {}
+        error = None
+        for i in self._sequence(workers):
+            host = self._hosts[i]
+            if host is None:
+                failures[i] = "dead"
+                continue
+            try:
+                results[i] = getattr(host, method)(*args_for(i))
+            except InjectedWorkerExit:
+                # In-process stand-in for process death: everything the
+                # host held (shards, live sessions) is gone.
+                self._hosts[i] = None
+                failures[i] = "worker_exit"
+            except Exception as exc:
+                error = error if error is not None else exc
+        if error is not None:
+            raise error
+        return results, failures
+
+    def respawn(self, i, config):
+        self._hosts[i] = ShardHost(config)
 
     def broadcast(self, method, *args):
-        results = [None] * len(self._hosts)
-        for i in self._sequence():
-            results[i] = getattr(self._hosts[i], method)(*args)
-        return results
+        workers = list(range(len(self._hosts)))
+        results, failures = self.run(method, lambda _w: args, workers)
+        if failures:
+            raise WorkerFailureError(method, failures, results)
+        return [results[i] for i in workers]
 
     def scatter(self, method, per_worker_args):
-        results = [None] * len(self._hosts)
-        for i in self._sequence():
-            results[i] = getattr(self._hosts[i], method)(
-                *per_worker_args[i])
-        return results
+        workers = list(range(len(self._hosts)))
+        results, failures = self.run(
+            method, lambda w: per_worker_args[w], workers)
+        if failures:
+            raise WorkerFailureError(method, failures, results)
+        return [results[i] for i in workers]
 
     def close(self):
         for host in self._hosts:
-            host.close()
+            if host is not None:
+                host.close()
         self._hosts = []
 
 
@@ -101,32 +160,109 @@ class _ProcessRunner:
     idle workers; per-shard state (counting tables, live sessions) needs
     every task for a shard to land on the process that owns it. One
     executor per worker gives that affinity with stock library machinery.
+
+    Gathers are all-or-nothing: :meth:`run` waits — under one shared
+    deadline — on *every* submitted future before returning or raising,
+    so a crashed worker can neither wedge the coordinator forever nor
+    strand sibling results half-collected while the shared-memory segment
+    is still mapped. A worker that breaks its pool or misses the deadline
+    is killed and its slot cleared; later calls report it ``"dead"``
+    until :meth:`respawn` builds a replacement pool from the retained
+    host config.
     """
 
     def __init__(self, configs):
         import multiprocessing as mp
 
         methods = mp.get_all_start_methods()
-        context = mp.get_context("fork" if "fork" in methods else None)
-        self._pools = [
-            ProcessPoolExecutor(max_workers=1, mp_context=context,
-                                initializer=_init_host, initargs=(config,))
-            for config in configs
-        ]
+        self._context = mp.get_context("fork" if "fork" in methods
+                                       else None)
+        self._pools = [self._spawn(config) for config in configs]
+
+    def _spawn(self, config):
+        return ProcessPoolExecutor(max_workers=1, mp_context=self._context,
+                                   initializer=_init_host,
+                                   initargs=(config,))
+
+    def run(self, method, args_for, workers, timeout=None):
+        """Execute ``method`` on each worker; ``(results, failures)``.
+
+        ``timeout`` (seconds, ``None`` = unbounded) is one deadline shared
+        by the whole gather — the engine's per-call protocol deadline.
+        Worker deaths land in ``failures`` as ``"broken_pool"``,
+        ``"timeout"`` or ``"dead"``; an application exception is
+        re-raised, but only once every future has been gathered.
+        """
+        results, failures = {}, {}
+        futures = {}
+        for i in workers:
+            pool = self._pools[i]
+            if pool is None:
+                failures[i] = "dead"
+                continue
+            try:
+                futures[i] = pool.submit(_call_host, method, *args_for(i))
+            except Exception:
+                self._kill(i)
+                failures[i] = "broken_pool"
+        deadline = None if timeout is None \
+            else time.monotonic() + float(timeout)
+        error = None
+        for i, future in futures.items():
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            try:
+                results[i] = future.result(timeout=remaining)
+            except _FuturesTimeout:
+                self._kill(i)
+                failures[i] = "timeout"
+            except BrokenProcessPool:
+                self._kill(i)
+                failures[i] = "broken_pool"
+            except Exception as exc:
+                error = error if error is not None else exc
+        if error is not None:
+            raise error
+        return results, failures
+
+    def _kill(self, i):
+        """Tear worker ``i``'s pool down without waiting on it."""
+        pool, self._pools[i] = self._pools[i], None
+        if pool is None:
+            return
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.kill()
+        except Exception:
+            pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def respawn(self, i, config):
+        self._kill(i)
+        self._pools[i] = self._spawn(config)
 
     def broadcast(self, method, *args):
-        futures = [pool.submit(_call_host, method, *args)
-                   for pool in self._pools]
-        return [f.result() for f in futures]
+        workers = list(range(len(self._pools)))
+        results, failures = self.run(method, lambda _w: args, workers)
+        if failures:
+            raise WorkerFailureError(method, failures, results)
+        return [results[i] for i in workers]
 
     def scatter(self, method, per_worker_args):
-        futures = [pool.submit(_call_host, method, *args)
-                   for pool, args in zip(self._pools, per_worker_args)]
-        return [f.result() for f in futures]
+        workers = list(range(len(self._pools)))
+        results, failures = self.run(
+            method, lambda w: per_worker_args[w], workers)
+        if failures:
+            raise WorkerFailureError(method, failures, results)
+        return [results[i] for i in workers]
 
     def close(self):
         for pool in self._pools:
-            pool.shutdown(wait=True, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
         self._pools = []
 
 
@@ -177,7 +313,22 @@ class ShardedC2LSH:
     fault_plan, fault_seed:
         Optional :class:`repro.reliability.FaultPlan` (or its dict form)
         installed on every shard's page manager, seeded per shard as
-        ``fault_seed + shard_id``.
+        ``fault_seed + shard_id``. ``"exit"`` rules at the
+        ``worker_exit.*`` sites additionally arm worker-death chaos in
+        each host (see :mod:`repro.sharding.worker`).
+    on_worker_failure:
+        What a dead or stuck worker does to in-flight queries.
+        ``"rebuild"`` (default) respawns it from its retained config and
+        replays the current lockstep session so answers stay
+        bit-identical to the unsharded index; ``"degrade"`` answers from
+        surviving shards, setting ``QueryStats.degraded`` and
+        ``QueryStats.failed_shards``; ``"raise"`` fails fast with
+        :class:`repro.reliability.WorkerFailureError`. Shorthand for
+        ``failover=FailoverPolicy(on_failure=...)``.
+    failover:
+        A full :class:`repro.sharding.FailoverPolicy` — protocol
+        deadlines, circuit-breaker tuning, background-respawn switch.
+        Overrides ``on_worker_failure`` when given.
     metrics:
         A :class:`repro.obs.MetricsRegistry` for the engine's ``shard.*``
         counters and histograms; private registry when omitted.
@@ -192,7 +343,8 @@ class ShardedC2LSH:
                  rng=None, base_radius="auto", data_layout="scattered",
                  use_t1=True, page_accounting=False,
                  page_size=DEFAULT_PAGE_SIZE, page_latency_s=0.0,
-                 fault_plan=None, fault_seed=0, metrics=None):
+                 fault_plan=None, fault_seed=0,
+                 on_worker_failure="rebuild", failover=None, metrics=None):
         if int(n_shards) < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
@@ -220,6 +372,9 @@ class ShardedC2LSH:
             fault_plan = fault_plan.to_dict()
         self._fault_plan = fault_plan
         self._fault_seed = int(fault_seed)
+        if failover is None:
+            failover = FailoverPolicy(on_failure=on_worker_failure)
+        self._failover = failover
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
         self.params = None
@@ -231,6 +386,7 @@ class ShardedC2LSH:
         self._offsets = None
         self._shard_worker = None
         self._runner = None
+        self._supervisor = None
         self._shm = None
         self._finalizer = None
         self._closed = False
@@ -302,8 +458,8 @@ class ShardedC2LSH:
                 self._data = data
                 configs = [HostConfig(
                     shards=tuple(specs[s] for s in group), data=data,
-                    **common,
-                ) for group in groups]
+                    worker_index=w, **common,
+                ) for w, group in enumerate(groups)]
                 self._runner = _SerialRunner(configs)
             else:
                 from multiprocessing import shared_memory
@@ -316,29 +472,84 @@ class ShardedC2LSH:
                 self._data = shared
                 configs = [HostConfig(
                     shards=tuple(specs[s] for s in group),
-                    shm_name=self._shm.name, **common,
-                ) for group in groups]
+                    shm_name=self._shm.name, worker_index=w, **common,
+                ) for w, group in enumerate(groups)]
                 self._runner = _ProcessRunner(configs)
+            self._supervisor = WorkerSupervisor(
+                self._runner, configs, groups, self._failover,
+                self.metrics)
             self._finalizer = weakref.finalize(
                 self, _release_resources, self._runner, self._shm)
             started = time.perf_counter()
-            infos = self._runner.broadcast("build")
+            try:
+                infos = self._build_with_failover()
+            except BaseException:
+                # A failed build must not leave a half-fitted engine:
+                # release the pools and the shared-memory segment and
+                # return to the pre-fit state so fit() can be retried.
+                self._reset_unfitted()
+                raise
             build_seconds = time.perf_counter() - started
 
         self.build_info = {
             "seconds": build_seconds,
-            "shards": {sid: info for worker in infos
+            "shards": {sid: info for worker in infos.values()
                        for sid, info in worker.items()},
         }
         self.metrics.gauge("shard.shards").set(self.n_shards)
         self.metrics.gauge("shard.workers").set(self.n_workers)
         self.metrics.histogram("shard.build.seconds").observe(build_seconds)
 
+    def _build_with_failover(self):
+        """Fan the build out; respawn-and-retry dead workers if allowed.
+
+        Returns ``{worker: {shard_id: build info}}``. A worker that dies
+        mid-build is respawned and rebuilt under the ``"rebuild"`` policy
+        (its chaos generation advances, so a kill-once fault rule does
+        not re-kill the replacement); any other policy — or a failed
+        respawn, or a tripped breaker — raises
+        :class:`WorkerFailureError` (and the caller resets the engine).
+        """
+        sup = self._supervisor
+        results, failures = sup.call(
+            "build", timeout=sup.policy.build_timeout_s)
+        if failures and sup.policy.on_failure != "rebuild":
+            raise WorkerFailureError("build", failures, results)
+        for worker, cause in sorted(failures.items()):
+            info = None if sup.breaker.tripped(worker) \
+                else sup.respawn(worker)
+            if info is None:
+                raise WorkerFailureError("build", {worker: cause},
+                                         results)
+            results[worker] = info
+        return results
+
+    def _reset_unfitted(self):
+        """Tear everything down and return to the pre-fit state."""
+        if self._supervisor is not None:
+            self._supervisor.close()
+        if self._finalizer is not None:
+            self._finalizer()
+        self._finalizer = None
+        self._runner = None
+        self._supervisor = None
+        self._shm = None
+        self._data = None
+        self._funcs = None
+        self._family = None
+        self._offsets = None
+        self._shard_worker = None
+        self.params = None
+        self.build_info = None
+
     def close(self):
         """Shut worker pools down and release the shared-memory segment."""
+        if self._supervisor is not None:
+            self._supervisor.close()
         if self._finalizer is not None:
             self._finalizer()
         self._runner = None
+        self._supervisor = None
         self._shm = None
         self._closed = True
 
@@ -399,12 +610,54 @@ class ShardedC2LSH:
         return tuple(int(x) for x in self._offsets)
 
     def io_totals(self):
-        """Cumulative (reads, writes) per shard since build."""
+        """Cumulative (reads, writes) per shard since build.
+
+        Live workers only: shards owned by a currently dead worker are
+        absent from the answer until its respawn completes.
+        """
         self._require_fitted()
+        results, failures = self._supervisor.call(
+            "io_totals", timeout=self._failover.round_timeout_s)
+        for worker, cause in sorted(failures.items()):
+            self._supervisor.mark_dead(worker, cause=cause)
+            self._supervisor.schedule_respawn(worker)
         merged = {}
-        for worker in self._runner.broadcast("io_totals"):
+        for worker in results.values():
             merged.update(worker)
         return dict(sorted(merged.items()))
+
+    @property
+    def failover(self):
+        """The active :class:`repro.sharding.FailoverPolicy`."""
+        return self._failover
+
+    def healthcheck(self, repair=False):
+        """Probe every worker; returns ``{worker: {"ok": bool, ...}}``.
+
+        A live worker answers its heartbeat with pid, hosted shards,
+        open sessions and kernel tier; dead or unresponsive workers
+        report ``ok=False`` with a cause (a worker that misses the
+        heartbeat deadline is killed by the probe, exactly as a missed
+        protocol deadline would). With ``repair=True`` every unhealthy
+        worker is taken out of the fan-out and a background respawn is
+        scheduled; it rejoins at the next query-block boundary.
+        """
+        self._require_fitted()
+        report = self._supervisor.probe()
+        if repair:
+            for worker, info in sorted(report.items()):
+                if not info["ok"]:
+                    self._supervisor.mark_dead(
+                        worker, cause=info.get("cause", ""))
+                    self._supervisor.schedule_respawn(worker)
+        return report
+
+    def worker_pids(self):
+        """Pid per live worker (the coordinator's own pid when serial)."""
+        self._require_fitted()
+        return {worker: info["pid"]
+                for worker, info in self._supervisor.probe().items()
+                if info.get("ok")}
 
     def telemetry_snapshot(self):
         """The engine's ``shard.*`` metrics as one serializable dict."""
@@ -494,8 +747,18 @@ class ShardedC2LSH:
         scale = self._scale
         accounting = self._page_accounting
 
+        sup = self._supervisor
+        # Background-respawned workers rejoin here: a block boundary is
+        # the only point where a fresh worker needs no session replay.
+        sup.adopt_ready()
+
         sid = next(self._session_ids)
-        self._runner.broadcast("batch_start", sid, queries, qids)
+        # Everything a failover needs to replay this block's session onto
+        # a respawned worker: the batch_start arguments plus every
+        # completed round's (radius, active) pair.
+        replay = {"sid": sid, "queries": queries, "qids": qids,
+                  "rounds": [], "budget": budget, "started": started}
+        self._call(replay, "batch_start", (sid, queries, qids))
 
         cand_ids = [[] for _ in range(n_queries)]
         cand_dists = [[] for _ in range(n_queries)]
@@ -507,6 +770,7 @@ class ShardedC2LSH:
         elapsed = np.zeros(n_queries, dtype=np.float64)
         reason = [""] * n_queries
         budget_cap = [""] * n_queries
+        fo_shards = [()] * n_queries
         tallies = ([WithinRadiusTally() for _ in range(n_queries)]
                    if self._use_t1 else None)
 
@@ -520,8 +784,12 @@ class ShardedC2LSH:
                                 active=int(active.size)) as rspan:
                     t_round = time.perf_counter()
                     collect = trace.active()
-                    worker_payloads = self._runner.broadcast(
-                        "batch_round", sid, int(radius), active, collect)
+                    by_worker = self._call(
+                        replay, "batch_round",
+                        (sid, int(radius), active, collect))
+                    replay["rounds"].append((int(radius), active.copy()))
+                    worker_payloads = [by_worker[w]
+                                       for w in sorted(by_worker)]
                     self.metrics.counter("shard.fanout.tasks").inc(
                         len(worker_payloads))
                     payloads = sorted(
@@ -571,9 +839,14 @@ class ShardedC2LSH:
                     if round_no >= MAX_ROUNDS:
                         exhausted[:] = True
                     done = t2 | t1 | exhausted
+                    # With every worker lost (degrade mode under total
+                    # failure) nothing can ever expand again; the honest
+                    # label for the forced termination is "failover".
+                    all_lost = not worker_payloads
                     for i in np.flatnonzero(done):
                         reason[active[i]] = ("T2" if t2[i]
                                              else "T1" if t1[i]
+                                             else "failover" if all_lost
                                              else "exhausted")
                     if budget is not None:
                         cand_hit = np.zeros(active.size, dtype=bool) \
@@ -603,8 +876,14 @@ class ShardedC2LSH:
                         done |= over
                     finished = active[done]
                     if finished.size:
-                        self._fallback(sid, finished, k, n_cand, cand_ids,
-                                       cand_dists, reason, io_reads)
+                        self._fallback(replay, finished, k, n_cand,
+                                       cand_ids, cand_dists, reason,
+                                       io_reads)
+                        failed = sup.failed_shards()
+                        if failed:
+                            snap = tuple(failed)
+                            for q in finished:
+                                fo_shards[int(q)] = snap
                         elapsed[finished] = time.perf_counter() - started
                     self.metrics.counter("shard.rounds").inc()
                     self.metrics.histogram("shard.round.seconds").observe(
@@ -613,7 +892,10 @@ class ShardedC2LSH:
                     active = active[~done]
                     radius *= c
         finally:
-            self._runner.broadcast("batch_end", sid)
+            # Best-effort under non-raise policies: a worker that dies
+            # here takes only its own session state with it, and that
+            # state was being dropped anyway.
+            self._call(replay, "batch_end", (sid,), best_effort=True)
 
         tripped = [q for q in range(n_queries) if budget_cap[q]]
         if tripped:
@@ -625,14 +907,20 @@ class ShardedC2LSH:
                 "workers": self.n_workers,
             })
 
+        lost = sum(1 for q in range(n_queries) if fo_shards[q])
+        if lost:
+            self.metrics.counter(
+                "shard.failover.degraded_queries").inc(lost)
+
         results = []
         for q in range(n_queries):
             stats = QueryStats(
                 rounds=int(rounds[q]), final_radius=int(final_radius[q]),
                 candidates=int(n_cand[q]), scanned_entries=int(scanned[q]),
                 terminated_by=reason[q], elapsed_s=float(elapsed[q]),
-                degraded=bool(budget_cap[q]),
+                degraded=bool(budget_cap[q]) or bool(fo_shards[q]),
                 budget_exhausted=budget_cap[q],
+                failed_shards=fo_shards[q],
             )
             if accounting:
                 stats.io_reads = int(io_reads[q])
@@ -645,7 +933,117 @@ class ShardedC2LSH:
                                                        stats))
         return results
 
-    def _fallback(self, sid, finished, k, n_cand, cand_ids, cand_dists,
+    # -- failover ------------------------------------------------------------
+
+    def _call(self, replay, method, args=(), per_worker=None,
+              best_effort=False):
+        """One supervised protocol call, with policy-dispatched failover.
+
+        Returns results keyed by worker index; a worker missing from the
+        dict was lost and the policy chose to continue without it.
+        ``"raise"`` re-raises as :class:`WorkerFailureError`;
+        ``"rebuild"`` respawns each dead worker, replays this block's
+        session onto it and retries the call — falling back to
+        quarantine once its circuit breaker trips; ``"degrade"`` drops
+        the worker and schedules a background respawn. ``best_effort``
+        (session teardown) never replays: a dead worker's sessions died
+        with it, so it is respawned fresh (rebuild) or dropped
+        (degrade). Every failover decision leaves a flight-recorder
+        postmortem.
+        """
+        sup = self._supervisor
+        policy = sup.policy
+        timeout = protocol_timeout(policy, replay["budget"],
+                                   replay["started"])
+        results, failures = sup.call(method, args, per_worker=per_worker,
+                                     timeout=timeout)
+        while failures:
+            self._postmortem(method, failures)
+            if policy.on_failure == "raise" and not best_effort:
+                raise WorkerFailureError(method, failures, results)
+            recovered = []
+            for worker, cause in sorted(failures.items()):
+                if best_effort:
+                    # Never raise out of teardown — it would mask the
+                    # failure that ended the block in the first place.
+                    if (policy.on_failure == "rebuild"
+                            and not sup.breaker.tripped(worker)
+                            and sup.respawn(worker)):
+                        continue  # fresh worker; no session to replay
+                    sup.mark_dead(worker, cause=cause)
+                    if policy.on_failure != "raise":
+                        sup.schedule_respawn(worker)
+                    continue
+                rebuild = (policy.on_failure == "rebuild"
+                           and not sup.breaker.tripped(worker))
+                if rebuild and self._rebuild_worker(worker, replay,
+                                                    timeout):
+                    recovered.append(worker)
+                elif rebuild:
+                    sup.quarantine(worker, cause=cause)
+                else:
+                    sup.mark_dead(worker, cause=cause)
+                    sup.schedule_respawn(worker)
+            if not recovered:
+                break
+            more, failures = sup.call(method, args, per_worker=per_worker,
+                                      workers=recovered, timeout=timeout)
+            results.update(more)
+        return results
+
+    def _rebuild_worker(self, worker, replay, timeout):
+        """Respawn ``worker`` and replay the current block's session.
+
+        Per-round expansion is a deterministic function of (shard rows,
+        hash functions, radius sequence, active arrays), so replaying
+        ``batch_start`` plus every completed round reconstructs exactly
+        the session state the worker lost — the retried call then
+        returns bit-identical payloads to the ones the dead worker would
+        have sent. Replay payloads are discarded wholesale: their
+        candidates, spans and counter deltas were already merged during
+        the rounds' first life, and folding them again would
+        double-count.
+        """
+        sup = self._supervisor
+        sid = replay["sid"]
+        with trace.span("shard.rebuild", worker=worker,
+                        rounds=len(replay["rounds"])) as span:
+            if not sup.respawn(worker):
+                span.set(ok=False)
+                return False
+            _, failures = sup.call(
+                "batch_start", (sid, replay["queries"], replay["qids"]),
+                workers=[worker], timeout=timeout)
+            for radius, active in replay["rounds"]:
+                if failures:
+                    break
+                _, failures = sup.call(
+                    "batch_round", (sid, radius, active, False),
+                    workers=[worker], timeout=timeout)
+            span.set(ok=not failures)
+            if failures:
+                return False
+        self.metrics.counter("shard.failover.rebuilds").inc()
+        self.metrics.counter("shard.failover.replayed_rounds").inc(
+            len(replay["rounds"]))
+        flight.note("worker_rebuilt", worker=worker, sid=sid,
+                    rounds=len(replay["rounds"]))
+        return True
+
+    def _postmortem(self, method, failures):
+        """Flight-recorder postmortem on every failover decision."""
+        flight.dump("worker_failure", extra={
+            "engine": "sharded",
+            "method": method,
+            "failures": {int(w): c for w, c in sorted(failures.items())},
+            "policy": self._failover.on_failure,
+            "dead_workers": self._supervisor.dead_workers(),
+            "failed_shards": self._supervisor.failed_shards(),
+            "shards": self.n_shards,
+            "workers": self.n_workers,
+        })
+
+    def _fallback(self, replay, finished, k, n_cand, cand_ids, cand_dists,
                   reason, io_reads):
         """Graceful fallback for terminated queries still short of ``k``.
 
@@ -654,7 +1052,14 @@ class ShardedC2LSH:
         (collision count desc, global id asc) — the total order behind
         ``argsort(-counts, kind="stable")`` — takes the global prefix, and
         only the selected objects are verified.
+
+        Under degraded operation the merge simply sees fewer shards: dead
+        workers nominate nothing, and a nominated id whose verification
+        answer never arrived (its worker died between nomination and
+        verify) is dropped rather than returned with an unverified
+        distance.
         """
+        sid = replay["sid"]
         fpb = self.params.false_positive_budget
         requests = {int(q): int(k - n_cand[q]) + fpb
                     for q in finished if n_cand[q] < k}
@@ -662,10 +1067,10 @@ class ShardedC2LSH:
             return
         self.metrics.counter("shard.fallback.queries").inc(len(requests))
         with trace.span("shard.fallback", queries=len(requests)):
-            nominations = self._runner.broadcast(
-                "fallback_candidates", sid, requests)
+            nominations = self._call(replay, "fallback_candidates",
+                                     (sid, requests))
             by_shard = {}
-            for worker in nominations:
+            for worker in nominations.values():
                 by_shard.update(worker)
 
             selected = {}
@@ -685,7 +1090,7 @@ class ShardedC2LSH:
 
             if not selected:
                 return
-            verify_req = [{} for _ in range(max(self.n_workers, 1))]
+            verify_req = {}
             placements = {}
             for q, gids in selected.items():
                 shard_of = np.searchsorted(self._offsets, gids,
@@ -693,14 +1098,15 @@ class ShardedC2LSH:
                 placements[q] = shard_of
                 for shard_id in np.unique(shard_of):
                     worker = self._shard_worker[int(shard_id)]
-                    verify_req[worker].setdefault(int(shard_id), {})[q] = \
-                        gids[shard_of == shard_id]
+                    verify_req.setdefault(worker, {}).setdefault(
+                        int(shard_id), {})[q] = gids[shard_of == shard_id]
             collect = trace.active()
-            answers = self._runner.scatter(
-                "fallback_verify",
-                [(sid, req, collect) for req in verify_req])
+            answers = self._call(
+                replay, "fallback_verify",
+                per_worker={w: (sid, req, collect)
+                            for w, req in verify_req.items()})
             merged = {}
-            for worker in answers:
+            for worker in answers.values():
                 if worker.get("spans"):
                     graft(worker["spans"])
                 if worker.get("metrics"):
@@ -708,12 +1114,22 @@ class ShardedC2LSH:
                 merged.update(worker["answers"])
 
             for q, gids in selected.items():
-                dists = np.empty(gids.size, dtype=np.float64)
                 shard_of = placements[q]
+                dists = np.empty(gids.size, dtype=np.float64)
+                have = np.ones(gids.size, dtype=bool)
                 for shard_id in np.unique(shard_of):
-                    shard_dists, io = merged[int(shard_id)][q]
-                    dists[shard_of == shard_id] = shard_dists
+                    mask = shard_of == shard_id
+                    entry = merged.get(int(shard_id), {}).get(q)
+                    if entry is None:
+                        have &= ~mask
+                        continue
+                    shard_dists, io = entry
+                    dists[mask] = shard_dists
                     io_reads[q] += io
+                if not have.all():
+                    gids, dists = gids[have], dists[have]
+                if gids.size == 0:
+                    continue
                 cand_ids[q].append(gids)
                 cand_dists[q].append(dists)
                 n_cand[q] += gids.size

@@ -64,7 +64,8 @@ def save_sharded(engine, path):
 
 
 def load_sharded(path, n_workers=None, *, page_latency_s=None,
-                 fault_plan=None, metrics=None):
+                 fault_plan=None, on_worker_failure="rebuild",
+                 failover=None, metrics=None):
     """Restore an engine written by :func:`save_sharded`.
 
     Every array is verified against its recorded CRC32/dtype/shape;
@@ -72,8 +73,11 @@ def load_sharded(path, n_workers=None, *, page_latency_s=None,
     the bad section. The shard layout is restored exactly as saved;
     ``n_workers`` (default: auto width) chooses how the restored shards
     are spread over processes. ``page_latency_s`` and ``fault_plan``
-    override/attach the runtime-only storage behaviors; ``metrics``
-    supplies the registry for the restored engine's ``shard.*`` metrics.
+    override/attach the runtime-only storage behaviors;
+    ``on_worker_failure``/``failover`` select the restored deployment's
+    failover policy (like worker width, a deployment property — not
+    persisted); ``metrics`` supplies the registry for the restored
+    engine's ``shard.*`` metrics.
     """
     blob = load_arrays(path, _KIND)
     data = np.ascontiguousarray(blob["data"])
@@ -100,6 +104,8 @@ def load_sharded(path, n_workers=None, *, page_latency_s=None,
         page_latency_s=page_latency_s,
         fault_plan=fault_plan,
         fault_seed=int(blob["fault_seed"]),
+        on_worker_failure=on_worker_failure,
+        failover=failover,
         metrics=metrics,
     )
     family = PStableFamily(data.shape[1], w=float(blob["family_w"]))

@@ -1,0 +1,450 @@
+"""Worker supervision: failure detection, respawn, and quarantine.
+
+The sharded engine's worker protocol is synchronous fan-out: every round
+broadcasts to all workers and waits. Before this module existed, that
+wait was unbounded and unguarded — one OOM-killed or wedged process
+stalled every in-flight query and stranded the shared-memory segment.
+:class:`WorkerSupervisor` puts a supervision layer between the engine and
+its execution backend:
+
+* **Deadlines.** Every protocol call carries a timeout derived from the
+  active :class:`~repro.reliability.QueryBudget` (remaining wall clock)
+  plus the policy's round timeout, so a stuck worker is *detected*, not
+  waited on (:func:`protocol_timeout`).
+* **Failure detection.** The backend reports per-worker outcomes; a
+  broken pool, a missed deadline, or an injected exit marks the worker
+  failed without losing the survivors' results.
+* **Respawn.** A failed worker's pool is rebuilt from its retained
+  :class:`~repro.sharding.worker.HostConfig` — the coordinator still
+  holds the shared-memory segment, so the respawned process reattaches
+  and rebuilds only its own shards. Respawns run inline (``"rebuild"``
+  policy) or on a background thread (quarantined / ``"degrade"``), and a
+  respawned worker rejoins the fan-out at the next query block.
+* **Circuit breaker.** A worker that keeps dying is quarantined after
+  :attr:`FailoverPolicy.max_failures` failures inside
+  :attr:`FailoverPolicy.failure_window_s` — the engine then serves
+  degraded answers from the survivors instead of burning every query on
+  rebuild-crash loops, while a background respawn tries to bring the
+  worker back.
+* **Heartbeats.** :meth:`WorkerSupervisor.probe` pings every worker
+  under :attr:`FailoverPolicy.heartbeat_timeout_s`, distinguishing a
+  stuck process from an idle one without issuing real protocol work.
+
+What the supervisor deliberately does *not* own is the failover
+*semantics*: replaying the lockstep session onto a respawned worker for
+bit-identical answers, or marking queries degraded, is protocol
+knowledge and lives in :class:`repro.sharding.ShardedC2LSH`. The split
+keeps this module about process lifecycle only.
+
+Everything lands in :mod:`repro.obs`: failures, respawns and
+quarantines tick ``shard.failover.*`` counters and histograms, each
+event is :func:`~repro.obs.flight.note`\\ d into the flight recorder, and
+respawns run inside ``shard.respawn`` trace spans.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from ..obs import flight, trace
+
+__all__ = ["FailoverPolicy", "CircuitBreaker", "WorkerSupervisor",
+           "POLICIES", "protocol_timeout"]
+
+#: Failure policies the engine accepts (``on_worker_failure=``).
+POLICIES = ("rebuild", "degrade", "raise")
+
+#: Failure causes that count toward a worker's circuit breaker. ``"dead"``
+#: (a call routed at an already-failed worker) is bookkeeping, not news.
+_REAL_CAUSES = ("broken_pool", "timeout", "worker_exit")
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """How the sharded engine reacts to a dead or stuck worker.
+
+    Parameters
+    ----------
+    on_failure:
+        ``"rebuild"`` — respawn the worker from its retained config,
+        replay the current lockstep session, and retry the failed call;
+        answers stay bit-identical to the unsharded index. ``"degrade"``
+        — answer from surviving shards within the deadline, marking
+        ``QueryStats.degraded`` and ``QueryStats.failed_shards``.
+        ``"raise"`` — fail fast with
+        :class:`~repro.reliability.WorkerFailureError` (the pre-
+        supervision semantics, minus the hang and the leak).
+    round_timeout_s:
+        Per-call deadline on the worker protocol. When a query budget
+        with ``deadline_s`` is active the effective deadline is the
+        budget's *remaining* time plus this value (a worker is only
+        declared stuck once it has overstayed the query's own deadline
+        by a full round timeout). ``None`` disables deadlines entirely.
+    build_timeout_s:
+        Deadline for ``build`` calls (initial fit and respawns), which
+        legitimately run much longer than a round.
+    max_failures / failure_window_s:
+        Circuit breaker: quarantine a worker after ``max_failures``
+        failures within ``failure_window_s`` seconds. Quarantined
+        workers are served around (degraded) while a background respawn
+        runs, even under ``"rebuild"``.
+    heartbeat_timeout_s:
+        Deadline for :meth:`WorkerSupervisor.probe` pings.
+    auto_respawn:
+        Spawn background respawns for degraded/quarantined workers.
+        Disable for deterministic tests that want failures to stay
+        failed.
+    """
+
+    on_failure: str = "rebuild"
+    round_timeout_s: float | None = 60.0
+    build_timeout_s: float | None = 600.0
+    max_failures: int = 3
+    failure_window_s: float = 60.0
+    heartbeat_timeout_s: float = 5.0
+    auto_respawn: bool = True
+
+    def __post_init__(self):
+        if self.on_failure not in POLICIES:
+            raise ValueError(
+                f"unknown failure policy {self.on_failure!r}; "
+                f"available: {POLICIES}"
+            )
+        if self.round_timeout_s is not None and self.round_timeout_s <= 0:
+            raise ValueError(
+                f"round_timeout_s must be positive, got {self.round_timeout_s}"
+            )
+        if self.build_timeout_s is not None and self.build_timeout_s <= 0:
+            raise ValueError(
+                f"build_timeout_s must be positive, got {self.build_timeout_s}"
+            )
+        if self.max_failures < 1:
+            raise ValueError(
+                f"max_failures must be >= 1, got {self.max_failures}"
+            )
+        if self.failure_window_s <= 0:
+            raise ValueError(
+                f"failure_window_s must be positive, got {self.failure_window_s}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be positive, "
+                f"got {self.heartbeat_timeout_s}"
+            )
+
+
+def protocol_timeout(policy, budget=None, started=None):
+    """The per-call deadline for one worker-protocol step, or ``None``.
+
+    ``round_timeout_s`` alone bounds unbudgeted calls; with an active
+    deadline budget the remaining budget is *added* (never substituted),
+    so a legitimately slow round near the deadline is not misread as a
+    dead worker — the budget check at the round boundary handles the
+    overrun gracefully, and supervision only steps in when the worker
+    has also exhausted the grace period.
+    """
+    if policy.round_timeout_s is None:
+        return None
+    deadline = policy.round_timeout_s
+    if budget is not None and started is not None:
+        remaining = budget.remaining_s(started)
+        if remaining is not None:
+            deadline += remaining
+    return deadline
+
+
+class CircuitBreaker:
+    """Quarantine decision: too many failures in a sliding window.
+
+    Thread-safe; keyed by worker index. A worker trips after
+    ``max_failures`` :meth:`record` calls within ``window_s`` seconds
+    and stays tripped until :meth:`reset` (a successful respawn).
+    """
+
+    def __init__(self, max_failures=3, window_s=60.0):
+        self.max_failures = int(max_failures)
+        self.window_s = float(window_s)
+        self._events = collections.defaultdict(collections.deque)
+        self._lock = threading.Lock()
+
+    def record(self, worker, now=None):
+        """Record one failure; returns True when the breaker is tripped."""
+        now = now if now is not None else time.monotonic()
+        with self._lock:
+            events = self._events[worker]
+            events.append(now)
+            while events and now - events[0] > self.window_s:
+                events.popleft()
+            return len(events) >= self.max_failures
+
+    def tripped(self, worker, now=None):
+        """Whether ``worker`` is currently quarantined."""
+        now = now if now is not None else time.monotonic()
+        with self._lock:
+            events = self._events.get(worker)
+            if not events:
+                return False
+            while events and now - events[0] > self.window_s:
+                events.popleft()
+            return len(events) >= self.max_failures
+
+    def reset(self, worker):
+        """Forget ``worker``'s failures (a respawn proved it healthy)."""
+        with self._lock:
+            self._events.pop(worker, None)
+
+    def snapshot(self):
+        """``{worker: recent failure count}`` for observability."""
+        now = time.monotonic()
+        with self._lock:
+            return {w: sum(1 for t in e if now - t <= self.window_s)
+                    for w, e in self._events.items() if e}
+
+
+class WorkerSupervisor:
+    """Process-lifecycle layer between the engine and its runner.
+
+    Parameters
+    ----------
+    runner:
+        The execution backend (``_SerialRunner`` / ``_ProcessRunner``),
+        providing ``run(method, args_for, workers, timeout)`` →
+        ``(results, failures)`` and ``respawn(worker, config)``.
+    configs:
+        Retained per-worker :class:`~repro.sharding.worker.HostConfig`\\ s
+        — everything a respawn needs (the shared-memory segment they
+        name stays alive at the coordinator).
+    groups:
+        Per-worker shard-id tuples, for translating dead workers into
+        failed shards.
+    policy:
+        The :class:`FailoverPolicy` in force.
+    metrics:
+        The engine's :class:`~repro.obs.MetricsRegistry`; all
+        supervision telemetry lands under ``shard.failover.*``.
+    """
+
+    def __init__(self, runner, configs, groups, policy, metrics):
+        self._runner = runner
+        self._configs = list(configs)
+        self._groups = [tuple(g) for g in groups]
+        self.policy = policy
+        self.metrics = metrics
+        self.breaker = CircuitBreaker(policy.max_failures,
+                                      policy.failure_window_s)
+        self._lock = threading.RLock()
+        self._dead = set()         # out of the fan-out right now
+        self._ready = set()        # respawned, awaiting block-boundary adopt
+        self._respawning = set()   # background respawn in flight
+        self._generation = collections.defaultdict(int)
+        self._closed = False
+
+    def close(self):
+        """Stop scheduling respawns — the engine is shutting down."""
+        self._closed = True
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def n_workers(self):
+        """Total worker slots, live or not."""
+        return len(self._configs)
+
+    def live_workers(self):
+        """Workers currently in the fan-out, ascending."""
+        with self._lock:
+            return [w for w in range(self.n_workers) if w not in self._dead]
+
+    def dead_workers(self):
+        """Workers currently out of service, ascending."""
+        with self._lock:
+            return sorted(self._dead)
+
+    def failed_shards(self):
+        """Shard ids owned by currently dead workers (sorted)."""
+        with self._lock:
+            return sorted(s for w in self._dead for s in self._groups[w])
+
+    def shards_of(self, worker):
+        """Shard ids ``worker`` owns (dead or alive)."""
+        return self._groups[worker]
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, method, args=(), per_worker=None, workers=None,
+             timeout=None):
+        """One protocol call; returns ``(results, failures)`` by worker.
+
+        ``args`` broadcasts the same tuple everywhere; ``per_worker``
+        (``{worker: args tuple}``) scatters. ``workers`` defaults to the
+        live set. Failures are recorded (metrics, flight recorder,
+        circuit breaker) but *not* acted on — policy dispatch is the
+        engine's job, which knows which queries a failure touches.
+        """
+        if workers is None:
+            workers = self.live_workers()
+        if per_worker is not None:
+            workers = [w for w in workers if w in per_worker]
+            args_for = per_worker.__getitem__
+        else:
+            def args_for(_w):
+                return args
+        results, failures = self._runner.run(method, args_for, workers,
+                                             timeout)
+        if failures:
+            self.note_failures(method, failures)
+        return results, failures
+
+    def note_failures(self, method, failures):
+        """Record failures in metrics, the flight ring, and the breaker."""
+        for worker, cause in sorted(failures.items()):
+            if cause not in _REAL_CAUSES:
+                continue
+            self.metrics.counter("shard.failover.failures").inc()
+            self.metrics.counter(f"shard.failover.{cause}").inc()
+            tripped = self.breaker.record(worker)
+            flight.note("worker_failure", worker=worker, cause=cause,
+                        method=method, shards=str(self._groups[worker]),
+                        tripped=tripped)
+
+    # -- state transitions ---------------------------------------------------
+
+    def mark_dead(self, worker, cause=""):
+        """Take ``worker`` out of the fan-out; survivors keep serving."""
+        with self._lock:
+            new = worker not in self._dead
+            self._dead.add(worker)
+            self._ready.discard(worker)
+            dead = len(self._dead)
+        if new:
+            self.metrics.gauge("shard.failover.dead_workers").set(dead)
+            flight.note("worker_dead", worker=worker, cause=cause,
+                        shards=str(self._groups[worker]))
+
+    def adopt_ready(self):
+        """Fold background-respawned workers back in; returns them.
+
+        Called by the engine at query-block boundaries only: a
+        respawned worker has rebuilt shards but no session state, so it
+        must rejoin where a fresh ``batch_start`` gives it one.
+        """
+        with self._lock:
+            adopted = sorted(self._ready & self._dead)
+            for worker in adopted:
+                self._dead.discard(worker)
+            self._ready.clear()
+            dead = len(self._dead)
+        if adopted:
+            self.metrics.gauge("shard.failover.dead_workers").set(dead)
+            for worker in adopted:
+                flight.note("worker_adopted", worker=worker)
+        return adopted
+
+    # -- respawn -------------------------------------------------------------
+
+    def respawn(self, worker):
+        """Rebuild ``worker``'s process and shards.
+
+        Returns the worker's ``{shard_id: build info}`` dict on success,
+        ``None`` on failure (truthy/falsy tests read naturally). The
+        retained config is re-issued with a bumped ``chaos_generation``
+        so kill-``N``-times chaos rules do not re-kill every incarnation
+        (see :class:`~repro.sharding.worker.HostConfig`). A respawn
+        failure counts toward the worker's circuit breaker.
+        """
+        with self._lock:
+            self._generation[worker] += 1
+            config = replace(self._configs[worker],
+                             chaos_generation=self._generation[worker])
+            self._configs[worker] = config
+        started = time.perf_counter()
+        with trace.span("shard.respawn", worker=worker,
+                        generation=self._generation[worker]) as span:
+            try:
+                self._runner.respawn(worker, config)
+                results, failures = self._runner.run(
+                    "build", lambda _w: (), [worker],
+                    self.policy.build_timeout_s)
+            except Exception:
+                results, failures = {}, {worker: "respawn_error"}
+            ok = worker in results and not failures
+            span.set(ok=ok)
+        seconds = time.perf_counter() - started
+        self.metrics.histogram("shard.failover.respawn.seconds").observe(
+            seconds)
+        if ok:
+            self.metrics.counter("shard.failover.respawns").inc()
+            flight.note("worker_respawned", worker=worker,
+                        seconds=seconds,
+                        generation=self._generation[worker])
+        else:
+            self.metrics.counter("shard.failover.respawn_failures").inc()
+            self.breaker.record(worker)
+            flight.note("worker_respawn_failed", worker=worker,
+                        causes=str(sorted(failures.values())))
+        return results.get(worker) if ok else None
+
+    def quarantine(self, worker, cause=""):
+        """Dead + breaker-tripped: serve around it, heal in background."""
+        self.metrics.counter("shard.failover.quarantines").inc()
+        flight.note("worker_quarantined", worker=worker, cause=cause)
+        self.mark_dead(worker, cause=cause)
+        self.schedule_respawn(worker)
+
+    def schedule_respawn(self, worker):
+        """Background respawn; the worker rejoins via :meth:`adopt_ready`."""
+        if not self.policy.auto_respawn or self._closed:
+            return None
+        with self._lock:
+            if worker in self._respawning:
+                return None
+            self._respawning.add(worker)
+
+        def _run():
+            try:
+                if not self._closed and self.respawn(worker):
+                    with self._lock:
+                        self._ready.add(worker)
+                    self.breaker.reset(worker)
+            finally:
+                with self._lock:
+                    self._respawning.discard(worker)
+
+        thread = threading.Thread(target=_run, daemon=True,
+                                  name=f"repro-shard-respawn-{worker}")
+        thread.start()
+        return thread
+
+    # -- heartbeat -----------------------------------------------------------
+
+    def probe(self, timeout=None):
+        """Ping every worker; ``{worker: {"ok": bool, ...}}``.
+
+        Dead workers are reported without being probed. A live worker
+        that misses the heartbeat deadline is reported unhealthy but not
+        auto-killed — diagnosis and policy stay separate (the engine's
+        ``healthcheck(repair=True)`` wires them together).
+        """
+        timeout = timeout if timeout is not None \
+            else self.policy.heartbeat_timeout_s
+        report = {}
+        with self._lock:
+            dead = set(self._dead)
+        for worker in sorted(dead):
+            report[worker] = {"ok": False, "cause": "dead",
+                              "shards": list(self._groups[worker])}
+        live = [w for w in range(self.n_workers) if w not in dead]
+        results, failures = self.call("ping", workers=live, timeout=timeout)
+        for worker in live:
+            if worker in results:
+                report[worker] = {"ok": True, **results[worker]}
+            else:
+                report[worker] = {
+                    "ok": False,
+                    "cause": failures.get(worker, "unknown"),
+                    "shards": list(self._groups[worker]),
+                }
+        return report

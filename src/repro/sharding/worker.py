@@ -34,6 +34,7 @@ from ..obs import trace
 from ..obs.registry import Counter, MetricsRegistry
 from ..obs.remote import export_events
 from ..obs.trace import tracing
+from ..reliability.errors import InjectedWorkerExit
 from ..reliability.faults import FaultInjector, FaultPlan
 from ..storage.datafile import DataFile
 from ..storage.pages import PageManager
@@ -60,6 +61,16 @@ class HostConfig:
     *global* hash functions every shard shares — sampling them once at the
     coordinator is what makes per-shard collision counts equal the
     unsharded index's counts restricted to the shard's rows.
+
+    ``worker_index`` is this host's position in the engine's worker
+    layout; ``worker_exit.*`` fault rules scoped with
+    :attr:`~repro.reliability.FaultRule.worker` match against it.
+    ``chaos_generation`` counts how many times the supervisor has
+    respawned this worker: ``worker_exit.*`` rules with ``max_triggers``
+    are treated as exhausted once the generation reaches the trigger
+    budget, so a kill-once chaos rule does not re-kill every respawned
+    incarnation (each incarnation's injector state is necessarily
+    fresh).
     """
 
     shards: tuple
@@ -80,6 +91,8 @@ class HostConfig:
     fault_plan: object = None
     fault_seed: int = 0
     incremental: bool = True
+    worker_index: int = 0
+    chaos_generation: int = 0
 
 
 @dataclass
@@ -169,6 +182,8 @@ class ShardHost:
         # coordinator choice. Idempotent in the serial in-process runner.
         _kernels_backend.reselect()
         self.config = config
+        self._subprocess = False  # _init_host flips this in pool workers
+        self._chaos = self._chaos_injector(config)
         self._shm = None
         if config.shm_name is not None:
             from multiprocessing import shared_memory
@@ -191,10 +206,58 @@ class ShardHost:
         self.metrics = MetricsRegistry()
         self._shipped = {}
 
+    # -- chaos (worker_exit sites) -------------------------------------------
+
+    @staticmethod
+    def _chaos_injector(config):
+        """The host's protocol-step injector, or ``None`` when inert.
+
+        Only ``worker_exit.*`` rules are installed (page-fault rules stay
+        with the per-shard page managers, whose seeds and op counts must
+        be untouched for bit-identical replay after a respawn). Rules
+        scoped to another worker are dropped, as are kill-``N``-times
+        rules whose trigger budget the respawn generation has consumed.
+        """
+        if config.fault_plan is None:
+            return None
+        plan = FaultPlan.from_dict(config.fault_plan)
+        rules = tuple(
+            r for r in plan.rules
+            if r.site.startswith("worker_exit")
+            and (r.worker is None or r.worker == config.worker_index)
+            and (r.max_triggers is None
+                 or r.max_triggers > config.chaos_generation)
+        )
+        if not rules:
+            return None
+        return FaultInjector(
+            FaultPlan(rules),
+            seed=config.fault_seed + 100_003 + config.worker_index,
+        )
+
+    def _chaos_step(self, step):
+        """One op at the ``worker_exit.<step>`` site; may stall or die.
+
+        An ``"exit"`` rule firing here kills the worker process with
+        ``os._exit`` — indistinguishable from an OOM kill as far as the
+        coordinator's pool is concerned. In-process hosts (serial
+        runner) let :class:`InjectedWorkerExit` propagate instead so the
+        runner can simulate the death without taking the caller down.
+        """
+        if self._chaos is None:
+            return
+        try:
+            self._chaos.check(f"worker_exit.{step}")
+        except InjectedWorkerExit:
+            if self._subprocess:
+                os._exit(17)
+            raise
+
     # -- build ---------------------------------------------------------------
 
     def build(self):
         """Build every hosted shard; returns per-shard build info."""
+        self._chaos_step("build")
         funcs = PStableFunctions(self.config.projections,
                                  self.config.offsets, self.config.funcs_w)
         info = {}
@@ -214,6 +277,7 @@ class ShardHost:
 
     def batch_start(self, session_id, queries, qids):
         """Open a lockstep session for a ``(Q, dim)`` query block."""
+        self._chaos_step("batch_start")
         for shard in self._shards.values():
             self._sessions[(session_id, shard.spec.shard_id)] = _Session(
                 counter=BatchQueryCounter(shard.counter, qids),
@@ -236,6 +300,7 @@ class ShardHost:
         subtree — stamped with shard id, worker pid and kernel tier —
         ships back on the payload for the coordinator to graft.
         """
+        self._chaos_step("batch_round")
         payloads = []
         for shard_id in sorted(self._shards):
             if collect:
@@ -332,6 +397,7 @@ class ShardHost:
         id ascending — so the coordinator's k-way merge reproduces
         ``argsort(-counts, kind="stable")`` over the whole database.
         """
+        self._chaos_step("fallback_candidates")
         out = {}
         for shard_id in sorted(self._shards):
             shard = self._shards[shard_id]
@@ -357,6 +423,7 @@ class ShardHost:
         fallback verification reads real pages, so its spans and counter
         deltas travel exactly like round payloads do.
         """
+        self._chaos_step("fallback_verify")
         out = {}
         spans = []
         for shard_id, per_query in requests.items():
@@ -398,11 +465,28 @@ class ShardHost:
 
     def batch_end(self, session_id):
         """Drop the session's per-shard state."""
+        self._chaos_step("batch_end")
         for shard_id in self._shards:
             self._sessions.pop((session_id, shard_id), None)
         return True
 
     # -- introspection -------------------------------------------------------
+
+    def ping(self):
+        """Heartbeat probe: identity and liveness of this host.
+
+        Deliberately does *not* pass through the chaos site — a probe
+        answering "alive" must mean the process can still run protocol
+        steps, and the supervisor uses the response to decide whether a
+        quiet worker is stuck or merely idle.
+        """
+        return {
+            "pid": os.getpid(),
+            "worker": self.config.worker_index,
+            "shards": sorted(self._shards),
+            "sessions": len(self._sessions),
+            "kernels": backend_name(),
+        }
 
     def io_totals(self):
         """Cumulative (reads, writes) per hosted shard."""
@@ -438,6 +522,9 @@ def _init_host(config):
     """ProcessPoolExecutor initializer: build this worker's ShardHost."""
     global _HOST
     _HOST = ShardHost(config)
+    # Real process death on injected exits: the coordinator's supervisor
+    # must see a broken pool, exactly as it would after an OOM kill.
+    _HOST._subprocess = True
 
 
 def _call_host(method, *args):
