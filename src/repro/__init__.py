@@ -40,6 +40,7 @@ from .reliability import (
     TransientIOError,
     WorkerFailureError,
 )
+from .serving import QueryClient, QueryServer, ServerConfig
 from .sharding import FailoverPolicy, ShardedC2LSH, default_parallelism
 from .storage import PageManager
 
@@ -73,5 +74,8 @@ __all__ = [
     "ShardedC2LSH",
     "FailoverPolicy",
     "default_parallelism",
+    "QueryServer",
+    "QueryClient",
+    "ServerConfig",
     "__version__",
 ]

@@ -39,6 +39,8 @@ import numpy as np
 from .. import kernels
 from ..kernels import row_searchsorted
 from ..obs import flight, trace
+from ..reliability.budget import as_budget_list
+from ..reliability.budget import tripped_cap as _tripped_cap_impl
 from .results import QueryResult, QueryStats
 
 __all__ = ["BatchQueryCounter", "WithinRadiusTally", "batch_query",
@@ -292,12 +294,16 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     per-query ``elapsed_s``; each query is stamped the moment it
     terminates, not when the whole batch returns.
 
-    ``budget`` (a :class:`repro.reliability.QueryBudget`) applies to each
+    ``budget`` (a :class:`repro.reliability.QueryBudget`, or a sequence
+    of per-query budgets — ``None`` entries unbudgeted) applies to each
     query individually: per-query attributed I/O pages and candidate
     counts are compared against the caps after every round, exactly where
     the sequential path checks its tracker, so a given seed and budget
-    degrade identically on both paths. The deadline cap is measured from
-    ``started`` and therefore trips all still-active queries together.
+    degrade identically on both paths. Each deadline cap is measured from
+    its budget's ``started_at`` anchor when set, else from ``started`` —
+    a shared entry-anchored deadline therefore trips all still-active
+    queries together, while a serving front-end's per-request anchors
+    trip each query on its own clock.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
@@ -325,6 +331,7 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
     elapsed = np.zeros(n_queries, dtype=np.float64)
     reason = [""] * n_queries
     budget_cap = [""] * n_queries
+    budgets = as_budget_list(budget, n_queries)
     tallies = ([WithinRadiusTally() for _ in range(n_queries)]
                if index._use_t1 and rehashable else None)
 
@@ -390,34 +397,33 @@ def batch_query(index, queries, query_bucket_ids, k, n_jobs=None,
                         reason[active[i]] = ("T2" if t2[i]
                                              else "T1" if t1[i]
                                              else "exhausted")
-                    if budget is not None:
+                    if budgets is not None:
                         # Checked only where no natural rule fired, in
                         # the tracker's cap order (candidates, io_pages,
-                        # deadline) — mirroring the sequential path.
-                        cand_hit = np.zeros(active.size, dtype=bool) \
-                            if budget.max_candidates is None \
-                            else n_cand[active] >= budget.max_candidates
-                        io_hit = np.zeros(active.size, dtype=bool) \
-                            if budget.max_io_pages is None or pm is None \
-                            else io_reads[active] >= budget.max_io_pages
-                        late = (budget.deadline_s is not None
-                                and time.perf_counter() - t0
-                                >= budget.deadline_s)
-                        over = ~done & (cand_hit | io_hit | late)
-                        for i in np.flatnonzero(over):
+                        # deadline) — mirroring the sequential path. One
+                        # clock read serves the whole round, exactly as
+                        # the former single-budget check did.
+                        now = time.perf_counter()
+                        for i in np.flatnonzero(~done):
                             q = int(active[i])
+                            b = budgets[q]
+                            if b is None:
+                                continue
+                            cap = _tripped_cap_impl(
+                                b, int(n_cand[q]), int(io_reads[q]),
+                                pm is not None, t0, now)
+                            if not cap:
+                                continue
+                            done[i] = True
                             reason[q] = "budget"
-                            budget_cap[q] = ("candidates" if cand_hit[i]
-                                             else "io_pages" if io_hit[i]
-                                             else "deadline")
+                            budget_cap[q] = cap
                             flight.note(
                                 "budget_exhausted", engine="batch",
-                                query=q, cap=budget_cap[q],
+                                query=q, cap=cap,
                                 radius=int(radius),
                                 candidates=int(n_cand[q]),
                                 io_pages=int(io_reads[q]),
                             )
-                        done |= over
                     finished = active[done]
                     if finished.size:
                         _fallback(index, queries, counter, is_candidate,

@@ -35,6 +35,7 @@ import numpy as np
 from ..hashing.pstable import PStableFamily
 from ..kernels import backend_name as _kernels_backend
 from ..obs import flight, trace
+from ..reliability.budget import as_budget_list
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from ..storage.datafile import DataFile
 from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
@@ -449,7 +450,11 @@ class C2LSH:
         calling thread. ``budget`` applies a
         :class:`repro.reliability.QueryBudget` to every query in the
         batch individually, with the same graceful-degradation semantics
-        as :meth:`query`. With ``incremental=False`` (the A2 recount
+        as :meth:`query`; a *sequence* of budgets (``None`` entries
+        unbudgeted) instead budgets each query separately — how the
+        serving front-end coalesces requests carrying different
+        per-client deadlines into one batch. With ``incremental=False``
+        (the A2 recount
         ablation) the per-query sequential path is kept, so the
         ablation's I/O pattern stays untouched. Batches larger than 1024
         queries are processed in blocks to bound the engine's
@@ -464,23 +469,26 @@ class C2LSH:
 
             n_jobs = default_parallelism(limit=queries.shape[0])
         started = time.perf_counter()
+        budgets = as_budget_list(budget, queries.shape[0])
         with trace.span("hash", queries=int(queries.shape[0])):
             all_ids = self._funcs.hash(self._hash_view(queries))
         if not self._incremental:
             results = []
-            for q, qids in zip(queries, all_ids):
+            for i, (q, qids) in enumerate(zip(queries, all_ids)):
                 with trace.span("query", k=int(k)) as qspan:
-                    results.append(self._query_hashed(q, qids, k,
-                                                      qspan=qspan,
-                                                      budget=budget))
+                    results.append(self._query_hashed(
+                        q, qids, k, qspan=qspan,
+                        budget=budgets[i] if budgets is not None
+                        else None))
             return results
         results = []
         for start in range(0, queries.shape[0], _BATCH_BLOCK):
             stop = start + _BATCH_BLOCK
-            results.extend(batch_query(self, queries[start:stop],
-                                       all_ids[start:stop], k,
-                                       n_jobs=n_jobs, started=started,
-                                       budget=budget))
+            results.extend(batch_query(
+                self, queries[start:stop], all_ids[start:stop], k,
+                n_jobs=n_jobs, started=started,
+                budget=budgets[start:stop] if budgets is not None
+                else None))
         return results
 
     def __repr__(self):

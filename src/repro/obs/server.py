@@ -8,7 +8,7 @@ provides exactly those over :mod:`http.server`:
 * ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of the
   configured registries, plus a ``<prefix>_build_info`` gauge carrying
   the provenance stamp as escaped labels;
-* ``GET /healthz`` — ``{"status": "ok", "uptime_s": ...}``;
+* ``GET /healthz`` — ``{"status": "ok", "ready": ..., "uptime_s": ...}``;
 * ``GET /debug/flightrecorder`` — the flight recorder's ring as JSON.
 
 ::
@@ -73,13 +73,25 @@ class ObsServer:
     recorder:
         The :class:`~repro.obs.flight.FlightRecorder` behind
         ``/debug/flightrecorder``; defaults to the process-wide one.
+    readiness:
+        Optional zero-argument callable consulted per ``/healthz``
+        request: return ``True``/``False``, or a JSON-safe dict with a
+        ``"ready"`` key (extra keys land in the body under
+        ``"readiness"``). Not-ready answers keep ``"status": "ok"`` —
+        the process is alive — but carry ``"ready": false`` and HTTP
+        503, which is what a load balancer's readiness probe keys on
+        while a serving front-end drains or sheds load. Without a
+        callback the body always reports ``"ready": true`` over HTTP
+        200, and a callback that raises reports not-ready with the
+        exception's name rather than a 500.
     host, port:
         Bind address. ``port=0`` picks an ephemeral port.
     """
 
-    def __init__(self, metrics=None, recorder=None, host="127.0.0.1",
-                 port=0):
+    def __init__(self, metrics=None, recorder=None, readiness=None,
+                 host="127.0.0.1", port=0):
         self._metrics = metrics
+        self._readiness = readiness
         if recorder is None:
             from . import flight
 
@@ -159,13 +171,38 @@ class ObsServer:
         return "".join(parts)
 
     def render_health(self):
-        """The ``/healthz`` body (a JSON string)."""
+        """The ``/healthz`` body and status code: ``(json_str, code)``.
+
+        Liveness and readiness share the endpoint: ``"status"`` is
+        always ``"ok"`` while the server answers at all (the process is
+        alive), ``"ready"`` reflects the readiness callback (503 when
+        false, so probes that only read status codes work unmodified).
+        """
         import os
 
         uptime = (time.monotonic() - self._started_at
                   if self._started_at is not None else 0.0)
-        return json.dumps({"status": "ok", "uptime_s": round(uptime, 3),
-                           "pid": os.getpid()}, sort_keys=True)
+        body = {"status": "ok", "uptime_s": round(uptime, 3),
+                "pid": os.getpid()}
+        ready, detail = self._check_readiness()
+        body["ready"] = ready
+        if detail:
+            body["readiness"] = detail
+        return json.dumps(body, sort_keys=True), (200 if ready else 503)
+
+    def _check_readiness(self):
+        """Evaluate the readiness callback: ``(ready, detail_dict)``."""
+        if self._readiness is None:
+            return True, {}
+        try:
+            verdict = self._readiness()
+        except Exception as exc:  # a broken probe is "not ready", not 500
+            return False, {"error": type(exc).__name__}
+        if isinstance(verdict, dict):
+            detail = dict(verdict)
+            ready = bool(detail.pop("ready", False))
+            return ready, detail
+        return bool(verdict), {}
 
     def render_flightrecorder(self):
         """The ``/debug/flightrecorder`` body (a JSON string)."""
@@ -181,12 +218,13 @@ class ObsServer:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):
                 path = self.path.split("?", 1)[0]
+                status = 200
                 try:
                     if path == "/metrics":
                         body = server.render_metrics()
                         ctype = PROM_CONTENT_TYPE
                     elif path == "/healthz":
-                        body = server.render_health()
+                        body, status = server.render_health()
                         ctype = "application/json"
                     elif path == "/debug/flightrecorder":
                         body = server.render_flightrecorder()
@@ -198,7 +236,7 @@ class ObsServer:
                     self.send_error(500, type(exc).__name__)
                     return
                 payload = body.encode("utf-8")
-                self.send_response(200)
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()

@@ -29,7 +29,7 @@ See ``docs/RELIABILITY.md`` for the fault-plan schema, budget semantics,
 and the degraded-result contract.
 """
 
-from .budget import BudgetTracker, QueryBudget
+from .budget import BudgetTracker, QueryBudget, as_budget_list
 from .errors import (
     CorruptIndexError,
     InjectedWorkerExit,
@@ -52,6 +52,7 @@ __all__ = [
     "RetryPolicy",
     "QueryBudget",
     "BudgetTracker",
+    "as_budget_list",
     "TransientIOError",
     "CorruptIndexError",
     "WorkerFailureError",

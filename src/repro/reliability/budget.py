@@ -24,9 +24,9 @@ deterministically (same seed, same budget ⇒ same degraded result).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-__all__ = ["QueryBudget", "BudgetTracker"]
+__all__ = ["QueryBudget", "BudgetTracker", "as_budget_list"]
 
 
 @dataclass(frozen=True)
@@ -42,8 +42,17 @@ class QueryBudget:
         Page reads+writes the query may charge to its page manager.
     max_candidates:
         Verified candidates after which the search stops growing.
+    started_at:
+        Optional explicit ``time.perf_counter()`` stamp anchoring the
+        deadline clock. When set, ``deadline_s`` is measured from this
+        moment rather than from query entry — so work done *before* the
+        engine saw the query (admission-queue wait in a serving
+        front-end, batched hashing, retry backoff) counts against the
+        deadline instead of silently restarting the clock. ``None``
+        (default) keeps the historical entry-anchored behavior.
 
-    All caps default to ``None`` (unlimited); at least one must be set.
+    All caps default to ``None`` (unlimited); at least one must be set
+    (``started_at`` is an anchor, not a cap, and does not count).
     The same object works on the sequential and batch paths of
     :class:`repro.core.c2lsh.C2LSH` and on :class:`repro.core.qalsh.QALSH`.
     """
@@ -51,6 +60,7 @@ class QueryBudget:
     deadline_s: float | None = None
     max_io_pages: int | None = None
     max_candidates: int | None = None
+    started_at: float | None = None
 
     def __post_init__(self):
         if (self.deadline_s is None and self.max_io_pages is None
@@ -69,25 +79,48 @@ class QueryBudget:
                 f"max_candidates must be >= 1, got {self.max_candidates}"
             )
 
+    def effective_start(self, default=None):
+        """The deadline anchor: ``started_at`` when set, else ``default``.
+
+        ``default`` is the engine's query-entry stamp (a
+        ``time.perf_counter()`` value; ``None`` falls through to "now").
+        Every deadline comparison routes through this so an explicit
+        anchor wins everywhere — tracker, batch engines, supervision.
+        """
+        if self.started_at is not None:
+            return self.started_at
+        return default if default is not None else time.perf_counter()
+
+    def with_start(self, started_at):
+        """A copy of this budget anchored at ``started_at``.
+
+        Serving front-ends stamp each request at admission with
+        ``budget.with_start(time.perf_counter())`` so queue wait counts
+        against the deadline.
+        """
+        return replace(self, started_at=float(started_at))
+
     def remaining_s(self, started, now=None):
         """Wall-clock seconds left before ``deadline_s``, or ``None``.
 
-        ``started`` is the query's ``time.perf_counter()`` entry stamp.
-        Returns ``None`` when the budget has no deadline; never negative.
-        The sharded engine's supervision layer uses this to derive
-        per-call deadlines on the worker protocol (remaining budget plus
-        the engine's round timeout).
+        ``started`` is the query's ``time.perf_counter()`` entry stamp
+        (``started_at``, when set, overrides it). Returns ``None`` when
+        the budget has no deadline; never negative. The sharded engine's
+        supervision layer uses this to derive per-call deadlines on the
+        worker protocol (remaining budget plus the engine's round
+        timeout).
         """
         if self.deadline_s is None:
             return None
         now = now if now is not None else time.perf_counter()
-        return max(0.0, self.deadline_s - (now - started))
+        return max(0.0, self.deadline_s - (now - self.effective_start(started)))
 
     def start(self, page_manager=None, started=None):
         """Begin tracking one query; returns a :class:`BudgetTracker`.
 
         ``started`` anchors the deadline (a ``time.perf_counter()``
-        value; defaults to now). ``page_manager`` supplies the I/O
+        value; defaults to now, and is overridden by an explicit
+        ``started_at`` on the budget). ``page_manager`` supplies the I/O
         snapshot the ``max_io_pages`` cap diffs against.
         """
         return BudgetTracker(self, page_manager, started)
@@ -103,8 +136,7 @@ class BudgetTracker:
         self._pm = page_manager
         self._snapshot = (page_manager.snapshot()
                           if page_manager is not None else None)
-        self._started = started if started is not None \
-            else time.perf_counter()
+        self._started = budget.effective_start(started)
 
     def io_spent(self):
         """Pages charged since tracking started (0 without a manager)."""
@@ -132,3 +164,56 @@ class BudgetTracker:
                 and time.perf_counter() - self._started >= b.deadline_s):
             return "deadline"
         return ""
+
+
+def tripped_cap(budget, n_candidates, io_pages, io_enabled, started, now):
+    """Which cap of ``budget`` a batched query has exhausted (or ``""``).
+
+    The batch engines attribute candidates and I/O pages per query
+    themselves, so their round-boundary check compares those running
+    totals instead of a :class:`BudgetTracker` snapshot — this helper
+    keeps the cap *order* (candidates, io_pages, deadline) and the
+    deadline anchoring identical to :meth:`BudgetTracker.exceeded`.
+    ``io_enabled`` tells whether page accounting is live (without it the
+    I/O cap is inert, matching the tracker's missing-snapshot rule).
+    """
+    if (budget.max_candidates is not None
+            and n_candidates >= budget.max_candidates):
+        return "candidates"
+    if (budget.max_io_pages is not None and io_enabled
+            and io_pages >= budget.max_io_pages):
+        return "io_pages"
+    if (budget.deadline_s is not None
+            and now - budget.effective_start(started) >= budget.deadline_s):
+        return "deadline"
+    return ""
+
+
+def as_budget_list(budget, n_queries):
+    """Normalize a batch ``budget`` argument to a per-query list or ``None``.
+
+    The batch entry points accept either one :class:`QueryBudget` applied
+    to every query, or a sequence of ``n_queries`` entries (``None``
+    entries mean "that query is unbudgeted") — which is how a serving
+    front-end coalesces requests carrying *different* per-client budgets
+    into one lockstep batch. Returns ``None`` when nothing is budgeted,
+    else a list of length ``n_queries``.
+    """
+    if budget is None:
+        return None
+    if isinstance(budget, QueryBudget):
+        return [budget] * n_queries
+    budgets = list(budget)
+    if len(budgets) != n_queries:
+        raise ValueError(
+            f"got {len(budgets)} budgets for {n_queries} queries"
+        )
+    for b in budgets:
+        if b is not None and not isinstance(b, QueryBudget):
+            raise TypeError(
+                f"budget entries must be QueryBudget or None, got "
+                f"{type(b).__name__}"
+            )
+    if all(b is None for b in budgets):
+        return None
+    return budgets

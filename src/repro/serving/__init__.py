@@ -1,0 +1,59 @@
+"""Overload-resilient network serving for C2LSH engines.
+
+The serving layer answers the question every prior layer leaves open:
+what happens when *clients* arrive faster than the engine can answer?
+Its three modules split the problem cleanly:
+
+* :mod:`~repro.serving.protocol` — the length-prefixed JSON wire format,
+  request validation, response shapes, and the blocking
+  :class:`QueryClient`;
+* :mod:`~repro.serving.admission` — bounded admission, deadline-aware
+  shedding, fairness, and the adaptive coalescing window;
+* :mod:`~repro.serving.server` — the asyncio :class:`QueryServer` tying
+  them to an index: coalesced micro-batches (bit-identical to sequential
+  queries), per-request deadline budgets anchored at admission, graceful
+  drain, and ``serving.*`` observability.
+
+::
+
+    from repro.serving import QueryServer, QueryClient, ServerConfig
+
+    with QueryServer(index, ServerConfig()) as server:
+        with QueryClient("127.0.0.1", server.port) as client:
+            resp = client.query(vector, k=10, deadline_s=0.25)
+"""
+
+from .admission import AdmissionController, CoalesceTuner, PendingQuery
+from .protocol import (
+    MAX_FRAME_BYTES,
+    SHED_REASONS,
+    ProtocolError,
+    QueryClient,
+    decode_frames,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    read_frame,
+    shed_response,
+)
+from .server import QueryServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "CoalesceTuner",
+    "MAX_FRAME_BYTES",
+    "PendingQuery",
+    "ProtocolError",
+    "QueryClient",
+    "QueryServer",
+    "SHED_REASONS",
+    "ServerConfig",
+    "decode_frames",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "read_frame",
+    "shed_response",
+]

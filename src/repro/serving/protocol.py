@@ -1,0 +1,341 @@
+"""Length-prefixed JSON wire protocol for the serving front-end.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON. The format is deliberately boring: every language
+can speak it, ``nc``-level debugging works, and the length prefix gives
+the server an O(1) handle on how much memory a peer can make it buffer
+(frames above ``max_bytes`` are rejected *before* the body is read).
+
+Requests ask for one k-NN answer each::
+
+    {"op": "query", "id": 7, "query": [..dim floats..], "k": 10,
+     "deadline_s": 0.25}
+
+``op`` defaults to ``"query"`` (``"ping"`` echoes, for liveness checks).
+``id`` is an opaque client token echoed back verbatim — responses may
+arrive out of request order on a pipelined connection, because the
+server coalesces admissions into micro-batches. ``deadline_s`` is the
+client's end-to-end latency bound, measured from *admission*: queue wait
+counts against it (see :mod:`repro.serving.admission`).
+
+Responses carry a ``status`` discriminator:
+
+* ``"ok"`` — ``ids``/``distances`` (exact float64 round-trip: values are
+  bit-identical to a sequential :meth:`~repro.core.c2lsh.C2LSH.query`)
+  plus a ``stats`` summary (rounds, candidates, ``terminated_by``,
+  ``degraded``, ``budget_exhausted``, ``failed_shards``, server-side
+  ``queue_wait_s``/``elapsed_s``);
+* ``"shed"`` — the request was refused, ``reason`` one of
+  ``"overloaded"`` (admission queue full), ``"deadline"`` (the deadline
+  cannot be met / expired while queued), ``"draining"`` (graceful
+  shutdown in progress);
+* ``"error"`` — a malformed request (``"bad_request"``) or a server-side
+  failure (e.g. ``"worker_failure"`` when the sharded engine's failover
+  policy is ``"raise"``).
+
+:class:`QueryClient` is the blocking convenience client used by the
+tests, the benchmark harness, and the examples; anything async can speak
+the protocol directly via :func:`read_frame`/:func:`encode_frame`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueryClient",
+    "encode_frame",
+    "decode_frames",
+    "read_frame",
+    "parse_request",
+    "ok_response",
+    "shed_response",
+    "error_response",
+]
+
+#: Default ceiling on one frame's payload; a dim=1024 float query is
+#: ~20 KiB of JSON, so 8 MiB is orders of magnitude of headroom while
+#: still bounding what a misbehaving peer can make the server buffer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+#: Shed reasons the protocol defines (documented for clients).
+SHED_REASONS = ("overloaded", "deadline", "draining")
+
+
+class ProtocolError(ValueError):
+    """A frame or request that violates the wire protocol."""
+
+
+def encode_frame(obj):
+    """Serialize ``obj`` to one length-prefixed JSON frame (bytes)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(buffer):
+    """Split ``buffer`` (bytes) into ``(objects, remainder)``.
+
+    Decodes every complete frame at the front of ``buffer``; the
+    remainder is a partial trailing frame (possibly empty). Used by the
+    blocking client and by tests; the async server reads frames
+    incrementally with :func:`read_frame` instead.
+    """
+    objects = []
+    view = memoryview(buffer)
+    while len(view) >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(view)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte limit")
+        if len(view) < _HEADER.size + length:
+            break
+        body = bytes(view[_HEADER.size:_HEADER.size + length])
+        try:
+            objects.append(json.loads(body))
+        except ValueError as exc:
+            raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+        view = view[_HEADER.size + length:]
+    return objects, bytes(view)
+
+
+async def read_frame(reader, max_bytes=MAX_FRAME_BYTES):
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns the decoded object, or ``None`` on clean EOF (connection
+    closed between frames). Raises :class:`ProtocolError` on an
+    oversized frame or invalid JSON, and ``IncompleteReadError`` on a
+    torn frame (EOF mid-frame).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{max_bytes}-byte limit")
+    body = await reader.readexactly(length)
+    try:
+        return json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+
+
+# -- request parsing ----------------------------------------------------------
+
+
+def parse_request(obj, dim, max_k=None):
+    """Validate one decoded request; returns ``(id, op, query, k, deadline)``.
+
+    ``query`` comes back as a float64 vector of length ``dim``; ``op``
+    is ``"query"`` or ``"ping"`` (for pings the other fields are
+    ``None``). Raises :class:`ProtocolError` with a client-presentable
+    message on any violation — the server turns that into a
+    ``bad_request`` error response rather than dropping the connection.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    req_id = obj.get("id")
+    if req_id is not None and not isinstance(req_id, (str, int)):
+        raise ProtocolError("id must be a string or integer")
+    op = obj.get("op", "query")
+    if op == "ping":
+        return req_id, op, None, None, None
+    if op != "query":
+        raise ProtocolError(f"unknown op {op!r}")
+    raw = obj.get("query")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("query must be a non-empty array of numbers")
+    try:
+        vector = np.asarray(raw, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"query is not numeric: {exc}") from exc
+    if vector.ndim != 1 or vector.shape[0] != dim:
+        raise ProtocolError(
+            f"query must have {dim} dimensions, got shape {vector.shape}"
+        )
+    if not np.isfinite(vector).all():
+        # Rejected here, per request: one NaN vector must not poison the
+        # whole coalesced batch (the engines validate the full matrix).
+        raise ProtocolError("query contains non-finite values")
+    k = obj.get("k", 1)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError(f"k must be a positive integer, got {k!r}")
+    if max_k is not None and k > max_k:
+        raise ProtocolError(f"k={k} exceeds the server's max_k={max_k}")
+    deadline = obj.get("deadline_s")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool) or not deadline > 0:
+            raise ProtocolError(
+                f"deadline_s must be a positive number, got {deadline!r}"
+            )
+        deadline = float(deadline)
+    return req_id, op, vector, k, deadline
+
+
+# -- response builders --------------------------------------------------------
+
+
+def _stats_payload(stats, queue_wait_s):
+    """The JSON-safe slice of :class:`~repro.core.results.QueryStats`."""
+    return {
+        "rounds": int(stats.rounds),
+        "candidates": int(stats.candidates),
+        "io_reads": int(stats.io_reads),
+        "terminated_by": stats.terminated_by,
+        "degraded": bool(stats.degraded),
+        "budget_exhausted": stats.budget_exhausted,
+        "failed_shards": [int(s) for s in stats.failed_shards],
+        "elapsed_s": float(stats.elapsed_s),
+        "queue_wait_s": float(queue_wait_s),
+    }
+
+
+def ok_response(req_id, result, queue_wait_s=0.0):
+    """A ``status: ok`` response for one :class:`QueryResult`.
+
+    Floats survive the JSON round trip exactly (Python serializes the
+    shortest repr that parses back to the same IEEE-754 double), so
+    ``np.asarray(resp["distances"])`` equals the engine's distances
+    bit for bit — the property the exactness tests pin down.
+    """
+    return {
+        "id": req_id,
+        "status": "ok",
+        "ids": [int(i) for i in result.ids],
+        "distances": [float(d) for d in result.distances],
+        "stats": _stats_payload(result.stats, queue_wait_s),
+    }
+
+
+def shed_response(req_id, reason):
+    """A ``status: shed`` rejection (explicit, never a dropped frame)."""
+    return {"id": req_id, "status": "shed", "reason": str(reason)}
+
+
+def error_response(req_id, error, message=""):
+    """A ``status: error`` response (bad request or server failure)."""
+    return {"id": req_id, "status": "error", "error": str(error),
+            "message": str(message)}
+
+
+# -- blocking client ----------------------------------------------------------
+
+
+class QueryClient:
+    """A blocking protocol client: one socket, pipelining-aware.
+
+    ::
+
+        with QueryClient("127.0.0.1", server.port) as client:
+            resp = client.query(vector, k=10, deadline_s=0.25)
+            assert resp["status"] == "ok"
+
+    :meth:`query` sends one request and waits for *its* response
+    (matching by ``id``; out-of-order responses for other in-flight ids
+    are buffered). :meth:`send`/:meth:`recv` expose the pipelined layer
+    for load generators that decouple the two.
+    """
+
+    def __init__(self, host, port, timeout=30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = b""
+        self._pending = {}
+        self._next_id = 0
+
+    # -- lifecycle --
+
+    def close(self):
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- pipelined layer --
+
+    def send(self, vector, k=1, deadline_s=None, req_id=None):
+        """Send one query request without waiting; returns its id."""
+        if req_id is None:
+            req_id = self._next_id
+            self._next_id += 1
+        request = {"op": "query", "id": req_id,
+                   "query": [float(x) for x in np.asarray(vector).ravel()],
+                   "k": int(k)}
+        if deadline_s is not None:
+            request["deadline_s"] = float(deadline_s)
+        self.send_raw(request)
+        return req_id
+
+    def send_raw(self, obj):
+        """Send an arbitrary frame (protocol tests use malformed ones)."""
+        self._sock.sendall(encode_frame(obj))
+
+    def recv(self):
+        """The next response frame, whatever request it answers."""
+        if self._pending:
+            # Oldest buffered response first, for callers that mix
+            # query() and recv().
+            key = next(iter(self._pending))
+            return self._pending.pop(key)
+        return self._read_frame()
+
+    def recv_for(self, req_id):
+        """The response for ``req_id``, buffering others encountered."""
+        while True:
+            # Re-check the buffer every round: _read_frame may stash the
+            # response we want as one of several frames read together
+            # (a coalesced batch's answers often share a TCP segment).
+            if req_id in self._pending:
+                return self._pending.pop(req_id)
+            resp = self._read_frame()
+            if resp.get("id") == req_id:
+                return resp
+            self._pending[resp.get("id")] = resp
+
+    # -- convenience --
+
+    def query(self, vector, k=1, deadline_s=None):
+        """Send one query and block for its response dict."""
+        return self.recv_for(self.send(vector, k=k, deadline_s=deadline_s))
+
+    def ping(self):
+        """Round-trip a ping frame; returns the response dict."""
+        self.send_raw({"op": "ping", "id": "ping"})
+        return self.recv_for("ping")
+
+    def _read_frame(self):
+        while True:
+            objects, self._buffer = decode_frames(self._buffer)
+            if objects:
+                # At most one object is consumed per call; push extras
+                # into the pending map so nothing is lost.
+                for extra in objects[1:]:
+                    self._pending[extra.get("id")] = extra
+                return objects[0]
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk

@@ -62,6 +62,7 @@ from ..hashing.pstable import PStableFamily
 from ..obs import flight, trace
 from ..obs.registry import MetricsRegistry
 from ..obs.remote import graft
+from ..reliability.budget import as_budget_list, tripped_cap
 from ..reliability.errors import InjectedWorkerExit, WorkerFailureError
 from ..reliability.faults import FaultPlan
 from ..storage.pages import DEFAULT_PAGE_SIZE
@@ -706,11 +707,16 @@ class ShardedC2LSH:
         summed across shards and compared against the caps at round
         boundaries, in the same cap order as the unsharded paths, so the
         deterministic caps degrade identically to an unsharded index.
+        A *sequence* of per-query budgets (``None`` entries unbudgeted)
+        budgets each query separately, honoring each budget's
+        ``started_at`` anchor — the serving front-end's coalesced-batch
+        contract.
         """
         self._require_fitted()
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         queries = as_query_matrix(queries, self.dim)
+        budgets = as_budget_list(budget, queries.shape[0])
         started = time.perf_counter()
         with trace.span("shard.query_batch",
                         queries=int(queries.shape[0]), k=int(k),
@@ -724,18 +730,20 @@ class ShardedC2LSH:
                 stop = start + _BATCH_BLOCK
                 results.extend(self._drive_block(
                     queries[start:stop], all_qids[start:stop], k,
-                    budget, started))
+                    budgets[start:stop] if budgets is not None else None,
+                    started))
             qspan.set(seconds=time.perf_counter() - started)
         self.metrics.counter("shard.queries").inc(len(results))
         self.metrics.histogram("shard.query_batch.seconds").observe(
             time.perf_counter() - started)
         return results
 
-    def _drive_block(self, queries, qids, k, budget, started):
+    def _drive_block(self, queries, qids, k, budgets, started):
         """Drive one query block through the lockstep shard rounds.
 
         The control flow mirrors :func:`repro.core.batchengine.batch_query`
         decision for decision; only the counting/verification is remote.
+        ``budgets`` is already normalized: ``None`` or a per-query list.
         """
         n_queries = queries.shape[0]
         if n_queries == 0:
@@ -757,7 +765,7 @@ class ShardedC2LSH:
         # a respawned worker: the batch_start arguments plus every
         # completed round's (radius, active) pair.
         replay = {"sid": sid, "queries": queries, "qids": qids,
-                  "rounds": [], "budget": budget, "started": started}
+                  "rounds": [], "budget": budgets, "started": started}
         self._call(replay, "batch_start", (sid, queries, qids))
 
         cand_ids = [[] for _ in range(n_queries)]
@@ -848,32 +856,28 @@ class ShardedC2LSH:
                                              else "T1" if t1[i]
                                              else "failover" if all_lost
                                              else "exhausted")
-                    if budget is not None:
-                        cand_hit = np.zeros(active.size, dtype=bool) \
-                            if budget.max_candidates is None \
-                            else n_cand[active] >= budget.max_candidates
-                        io_hit = np.zeros(active.size, dtype=bool) \
-                            if budget.max_io_pages is None \
-                            or not accounting \
-                            else io_reads[active] >= budget.max_io_pages
-                        late = (budget.deadline_s is not None
-                                and time.perf_counter() - started
-                                >= budget.deadline_s)
-                        over = ~done & (cand_hit | io_hit | late)
-                        for i in np.flatnonzero(over):
+                    if budgets is not None:
+                        now = time.perf_counter()
+                        for i in np.flatnonzero(~done):
                             q = int(active[i])
+                            b = budgets[q]
+                            if b is None:
+                                continue
+                            cap = tripped_cap(b, int(n_cand[q]),
+                                              int(io_reads[q]),
+                                              accounting, started, now)
+                            if not cap:
+                                continue
+                            done[i] = True
                             reason[q] = "budget"
-                            budget_cap[q] = ("candidates" if cand_hit[i]
-                                             else "io_pages" if io_hit[i]
-                                             else "deadline")
+                            budget_cap[q] = cap
                             flight.note(
                                 "budget_exhausted", engine="sharded",
-                                query=q, cap=budget_cap[q],
+                                query=q, cap=cap,
                                 radius=int(radius),
                                 candidates=int(n_cand[q]),
                                 io_pages=int(io_reads[q]),
                             )
-                        done |= over
                     finished = active[done]
                     if finished.size:
                         self._fallback(replay, finished, k, n_cand,

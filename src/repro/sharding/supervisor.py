@@ -145,14 +145,28 @@ def protocol_timeout(policy, budget=None, started=None):
     dead worker — the budget check at the round boundary handles the
     overrun gracefully, and supervision only steps in when the worker
     has also exhausted the grace period.
+
+    ``budget`` may also be a per-query sequence (the coalesced-batch
+    form): the call must outlive the *longest*-lived query, so the
+    maximum remaining time across deadline budgets is added; a batch
+    containing any unbudgeted query (``None`` entry or no deadline) gets
+    the unbudgeted timeout, since those queries are not deadline-bound.
     """
     if policy.round_timeout_s is None:
         return None
     deadline = policy.round_timeout_s
     if budget is not None and started is not None:
-        remaining = budget.remaining_s(started)
-        if remaining is not None:
-            deadline += remaining
+        budgets = budget if isinstance(budget, (list, tuple)) else [budget]
+        remainings = []
+        for b in budgets:
+            remaining = b.remaining_s(started) if b is not None else None
+            if remaining is None:
+                # An unbudgeted query bounds nothing; the base
+                # round_timeout_s alone governs the call.
+                return deadline
+            remainings.append(remaining)
+        if remainings:
+            deadline += max(remainings)
     return deadline
 
 
