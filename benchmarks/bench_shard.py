@@ -50,14 +50,20 @@ def _identical(expected, got):
 
 
 def run_sweep(n, dim, n_queries, k, seed, shard_counts, n_workers,
-              page_latency_s):
+              page_latency_s, probe="classic"):
     rng = np.random.default_rng(seed)
     data = rng.standard_normal((n, dim))
     queries = rng.standard_normal((n_queries, dim))
+    classic = probe in ("classic", "both")
+    adaptive = probe in ("adaptive", "both")
 
     # Unsharded ground truth for the identity check (no latency model —
     # answers don't depend on I/O accounting, only wall-clock would).
-    reference = C2LSH(seed=seed).fit(data).query_batch(queries, k=k)
+    # Only classic mode promises bit-identity; adaptive promises the
+    # result contract at fewer pages, so its runs are reported without
+    # the identity gate.
+    reference = (C2LSH(seed=seed).fit(data).query_batch(queries, k=k)
+                 if classic else None)
 
     sweep = []
     for s in shard_counts:
@@ -72,26 +78,55 @@ def run_sweep(n, dim, n_queries, k, seed, shard_counts, n_workers,
         t_fit = time.perf_counter() - t0
         with engine:
             engine.query_batch(queries[:2], k=k)  # warm the round path
-            t0 = time.perf_counter()
-            results = engine.query_batch(queries, k=k)
-            t_query = time.perf_counter() - t0
-            snapshot = engine.telemetry_snapshot()
-        entry = {
-            "shards": s,
-            "workers": workers,
-            "build_seconds": round(t_fit, 4),
-            "query_seconds": round(t_query, 4),
-            "queries_per_sec": round(n_queries / t_query, 2),
-            "amortized_ms": round(t_query / n_queries * 1e3, 4),
-            "io_pages_per_query": round(
-                sum(r.stats.io_reads for r in results) / n_queries, 1),
-            "identical_results": _identical(reference, results),
-            "metrics": snapshot,
-        }
+            entry = {
+                "shards": s,
+                "workers": workers,
+                "build_seconds": round(t_fit, 4),
+            }
+            if classic:
+                t0 = time.perf_counter()
+                results = engine.query_batch(queries, k=k)
+                t_query = time.perf_counter() - t0
+                entry.update(
+                    query_seconds=round(t_query, 4),
+                    queries_per_sec=round(n_queries / t_query, 2),
+                    amortized_ms=round(t_query / n_queries * 1e3, 4),
+                    io_pages_per_query=round(
+                        sum(r.stats.io_reads for r in results)
+                        / n_queries, 1),
+                    identical_results=_identical(reference, results),
+                )
+            if adaptive:
+                t0 = time.perf_counter()
+                fast = engine.query_batch(queries, k=k, probe="adaptive")
+                t_query = time.perf_counter() - t0
+                entry["adaptive"] = {
+                    "query_seconds": round(t_query, 4),
+                    "queries_per_sec": round(n_queries / t_query, 2),
+                    "io_pages_per_query": round(
+                        sum(r.stats.io_reads for r in fast)
+                        / n_queries, 1),
+                    "probes_skipped": int(sum(r.stats.probes_skipped
+                                              for r in fast)),
+                }
+                if classic and entry["adaptive"]["io_pages_per_query"]:
+                    entry["adaptive"]["pages_vs_classic"] = round(
+                        entry["io_pages_per_query"]
+                        / entry["adaptive"]["io_pages_per_query"], 3)
+                if not classic:
+                    entry.update(
+                        query_seconds=entry["adaptive"]["query_seconds"],
+                        queries_per_sec=entry["adaptive"][
+                            "queries_per_sec"],
+                        amortized_ms=round(t_query / n_queries * 1e3, 4),
+                        io_pages_per_query=entry["adaptive"][
+                            "io_pages_per_query"],
+                    )
+            entry["metrics"] = engine.telemetry_snapshot()
         sweep.append(entry)
         print(f"S={s} W={workers}: build {t_fit:.2f}s, "
-              f"query {n_queries / t_query:.1f} q/s, "
-              f"identical={entry['identical_results']}")
+              f"query {entry['queries_per_sec']:.1f} q/s, "
+              f"identical={entry.get('identical_results', 'n/a')}")
     return data.nbytes, sweep
 
 
@@ -108,6 +143,10 @@ def main(argv=None):
                         help="worker processes (default: one per shard)")
     parser.add_argument("--page-latency-us", type=float, default=300.0,
                         help="simulated per-page device latency")
+    parser.add_argument("--probe", choices=["classic", "adaptive", "both"],
+                        default="classic",
+                        help="probing mode(s) to time; the identity gate "
+                             "only applies to classic runs")
     parser.add_argument("--min-build-speedup", type=float, default=2.5)
     parser.add_argument("--min-query-speedup", type=float, default=2.0)
     parser.add_argument("--out", type=Path,
@@ -127,7 +166,7 @@ def main(argv=None):
     latency_s = args.page_latency_us * 1e-6
     data_bytes, sweep = run_sweep(args.n, args.dim, args.queries, args.k,
                                   args.seed, args.shards, args.workers,
-                                  latency_s)
+                                  latency_s, probe=args.probe)
 
     base = sweep[0]
     for entry in sweep:
@@ -139,7 +178,7 @@ def main(argv=None):
     result = {
         "config": {
             "n": args.n, "dim": args.dim, "queries": args.queries,
-            "k": args.k, "seed": args.seed,
+            "k": args.k, "seed": args.seed, "probe": args.probe,
             "shared_memory_bytes": data_bytes,
             "cpu_count": os.cpu_count(),
             "io_model": {
@@ -152,7 +191,8 @@ def main(argv=None):
         },
         "kernels": active_backend(),
         "sweep": sweep,
-        "identical_results": all(e["identical_results"] for e in sweep),
+        "identical_results": all(e.get("identical_results", True)
+                                 for e in sweep),
         "smoke": args.smoke,
     }
     s4 = next((e for e in sweep if e["shards"] == 4), None)

@@ -17,6 +17,7 @@ Public API highlights::
 from .baselines import E2LSH, LinearScan, LSBForest, MultiProbeLSH
 from .core import (
     C2LSH,
+    AdaptiveConfig,
     C2LSHParams,
     QALSH,
     QueryResult,
@@ -48,6 +49,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "C2LSH",
+    "AdaptiveConfig",
     "QALSH",
     "C2LSHParams",
     "design_params",

@@ -1,5 +1,6 @@
 """The paper's contribution: C2LSH and its parameter/counting machinery."""
 
+from .adaptive import AdaptiveConfig, as_probe_config
 from .batchengine import BatchQueryCounter, WithinRadiusTally, batch_query
 from .c2lsh import C2LSH
 from .counting import CollisionCounter, QueryCounter
@@ -20,6 +21,8 @@ from .updatable import UpdatableC2LSH
 from .results import QueryResult, QueryStats
 
 __all__ = [
+    "AdaptiveConfig",
+    "as_probe_config",
     "C2LSH",
     "QALSH",
     "C2LSHParams",

@@ -1,0 +1,850 @@
+"""Query-adaptive probing: estimated radius starts, ordered probes, early exit.
+
+The classic C2LSH schedule makes every query pay for the full radius grid
+``{1, c, c^2, ...}`` and, within each round, for all ``m`` table scans plus
+the verification of *every* object that crossed the collision threshold —
+even when the first few probed tables already satisfy the termination
+rules. This module implements the query-adaptive mode (DB-LSH / multi-probe
+direction; see docs/PERFORMANCE.md):
+
+1. **Radius-start estimation** (:func:`estimate_start_levels`): from the
+   per-table sorted hash arrays, compute for each query the smallest grid
+   level at which at least ``l`` tables have a non-empty query bucket.
+   Below that level no object can reach collision count ``l``, so no
+   candidate, T1, or T2 outcome is possible — skipping straight to the
+   estimated level is *answer-preserving* (interval nesting makes the
+   jumped-to counts equal the incremental ones). The estimate costs two
+   binary searches per table on data already in memory and charges no
+   pages, consistent with the classic path never charging its searchsorted
+   descents.
+
+2. **Likelihood-ordered probing** (:func:`probe_order`): within a round,
+   tables are probed in descending *margin* order — the distance from the
+   query's raw projection to the nearest boundary of its radius-``R``
+   bucket, the same boundary-distance score multi-probe LSH ranks
+   perturbations by. Central buckets are the likeliest to contain near
+   neighbors, so candidates (and T1/T2 satisfaction) arrive early.
+
+3. **Chunked early exit**: the ordered tables are processed in
+   ``AdaptiveConfig.chunks`` slices; after each slice the engine verifies
+   the new threshold-crossers and re-checks T2/T1. A query whose
+   termination rule is already satisfiable stops probing — the remaining
+   tables are never scanned and their would-be crossers never verified.
+   With ``chunks=1`` the single slice is the whole round and the mode is
+   provably bit-identical to classic (same candidates, same order, same
+   page charges); larger values trade a little tie-order fidelity for
+   large I/O savings. PageManager is only ever charged for buckets
+   actually probed.
+
+Classic mode remains the bit-exactness oracle; adaptive mode preserves the
+result-size / sortedness / verified-distance contract and the budget
+semantics, but may settle for a smaller candidate pool. See docs/THEORY.md
+for which of the paper's guarantees survive.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import kernels
+from ..kernels import row_searchsorted
+from ..obs import flight, trace
+from ..reliability.budget import as_budget_list
+from ..reliability.budget import tripped_cap as _tripped_cap_impl
+from .batchengine import (
+    MAX_ROUNDS,
+    BatchQueryCounter,
+    WithinRadiusTally,
+    _fallback,
+    _verify_many,
+)
+from .results import QueryResult, QueryStats
+
+__all__ = ["AdaptiveConfig", "as_probe_config", "check_adaptive_supported",
+           "collide_levels", "estimate_start_levels",
+           "occupancy_start_levels", "occupancy_table",
+           "merge_start_levels", "probe_order", "saturation_level",
+           "adaptive_batch_query"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the adaptive probing mode.
+
+    Attributes
+    ----------
+    chunks:
+        Number of slices each round's ordered table list is probed in;
+        termination is re-checked after every slice. ``1`` disables the
+        early exit (bit-identical to classic); larger values exit earlier
+        at a small cost in tie-order fidelity. Default 16.
+    start_estimate:
+        Skip the provably-empty small-radius rounds via
+        :func:`estimate_start_levels` (answer-preserving).
+    ordered_probes:
+        Probe tables in descending margin order instead of table order.
+        Ordering only matters when ``chunks > 1``.
+    early_exit:
+        Re-check termination between chunks and stop probing satisfied
+        queries. When false, every round scans all ``m`` tables
+        regardless of ``chunks``.
+    t1_early_exit:
+        Also check the T1 rule *between* chunks, not just at round end.
+        Off by default: a mid-round T1 firing returns the bare ``k``
+        within-radius candidates found so far, which satisfies the
+        paper's ratio contract but measurably costs exact recall,
+        whereas the default T2-only early exit stops with the full
+        ``k + false_positive_budget`` pool (the paper's own pool size)
+        and keeps recall at classic levels. Turn on for the
+        maximum-I/O-savings end of the frontier.
+    provisional_exit:
+        Fire T2 on *projected* crossers: after probing a fraction ``p/m``
+        of the round's tables, an object with partial count
+        ``>= ceil(l * p/m)`` is on track to cross the collision
+        threshold. When the projected pool reaches the T2 target, the
+        engine verifies the best-counted objects (the classic engine's
+        own graceful-fallback selection) and stops probing — this is
+        what breaks through the "no candidate can be certified before
+        ``l`` tables are probed" scan floor. Distances in the result are
+        always exactly verified; only the *selection* of which objects
+        to verify is predictive, so recall can dip slightly below an
+        exit at certified counts (see BENCH_adaptive.json for measured
+        frontiers). Queries that exit this way report
+        ``terminated_by == "T2-early"``.
+    provisional_min_frac:
+        Minimum fraction of the round's tables that must be probed
+        before a provisional exit is considered (default 0.5). Lower
+        values exit earlier on noisier projections.
+    provisional_pool_mult:
+        On a provisional exit, verify ``min(mult * target, projected)``
+        best-counted objects instead of the bare T2 target (default 4).
+        Partial counts are heavily tied, so the bare target can drop
+        true neighbors from the pool; verification costs one page per
+        object — far cheaper than probing more tables — so a wider
+        verified pool buys recall back at small I/O cost.
+    """
+
+    chunks: int = 16
+    start_estimate: bool = True
+    ordered_probes: bool = True
+    early_exit: bool = True
+    t1_early_exit: bool = False
+    provisional_exit: bool = True
+    provisional_min_frac: float = 0.5
+    provisional_pool_mult: float = 4.0
+
+    def __post_init__(self):
+        if int(self.chunks) < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        if not 0.0 < float(self.provisional_min_frac) <= 1.0:
+            raise ValueError(
+                f"provisional_min_frac must lie in (0, 1], got "
+                f"{self.provisional_min_frac}"
+            )
+        if float(self.provisional_pool_mult) < 1.0:
+            raise ValueError(
+                f"provisional_pool_mult must be >= 1, got "
+                f"{self.provisional_pool_mult}"
+            )
+
+
+def as_probe_config(probe):
+    """Normalize a ``probe=`` argument: ``None`` for classic, else a config.
+
+    Accepts ``"classic"`` / ``None`` (classic mode), ``"adaptive"`` (the
+    default :class:`AdaptiveConfig`), or an explicit config instance.
+    """
+    if probe is None or probe == "classic":
+        return None
+    if probe == "adaptive":
+        return AdaptiveConfig()
+    if isinstance(probe, AdaptiveConfig):
+        return probe
+    raise ValueError(
+        f"probe must be 'classic', 'adaptive' or an AdaptiveConfig, "
+        f"got {probe!r}"
+    )
+
+
+def check_adaptive_supported(funcs, incremental=True):
+    """Raise when the index cannot run adaptive probing.
+
+    The estimator and the margin score need quantized-projection bucket
+    ids (a rehashable family exposing raw projections), and the chunked
+    counter only exists on the incremental path — the A2 recount ablation
+    keeps its classic I/O pattern. docs/PERFORMANCE.md lists these as the
+    "when classic is required" cases.
+    """
+    if not getattr(funcs, "rehashable", False) \
+            or not hasattr(funcs, "project"):
+        raise ValueError(
+            "adaptive probing requires a rehashable quantized-projection "
+            "family (radius rounds and projection margins do not exist "
+            "otherwise); use probe='classic'"
+        )
+    if not incremental:
+        raise ValueError(
+            "adaptive probing requires incremental counting; the recount "
+            "ablation (incremental=False) must use probe='classic'"
+        )
+
+
+def saturation_level(id_span, c):
+    """Smallest grid level whose radius saturates the bucket-id span.
+
+    At radius ``>= 2 * (id_span + 1)`` every table's interval covers all
+    entries (the :class:`~repro.core.counting.QueryCounter` saturation
+    rule), so no per-table collide level ever needs to exceed this.
+    """
+    level, radius = 0, 1
+    limit = 2 * (int(id_span) + 1)
+    while radius < limit and level < MAX_ROUNDS:
+        radius *= c
+        level += 1
+    return level
+
+
+def collide_levels(counter, qids, c):
+    """Per-(query, table) minimal grid level with a non-empty query bucket.
+
+    ``counter`` is a :class:`~repro.core.counting.CollisionCounter`;
+    ``qids`` the ``(Q, m)`` base bucket ids. Returns an int64 ``(Q, m)``
+    matrix: entry ``(q, j)`` is the smallest ``t`` such that the radius-
+    ``c**t`` bucket of query ``q`` in table ``j`` contains at least one
+    database entry (capped at :func:`saturation_level`, where coverage is
+    total by definition).
+
+    The radius-``R`` bucket is the id interval ``[floor(qid/R)*R, +R)``.
+    It is non-empty iff it contains the query's nearest entry on either
+    side, so two binary searches per table suffice; the level scan is a
+    vectorized walk over at most ``saturation_level`` grid levels. No
+    pages are charged — like the classic path's searchsorted descent,
+    this touches only the in-memory sorted id arrays.
+    """
+    qids = np.asarray(qids, dtype=np.int64)
+    sorted_ids = counter.sorted_ids
+    m, n = sorted_ids.shape
+    pos = row_searchsorted(sorted_ids, qids, side="left")
+    rows = np.arange(m)[None, :]
+    has_below = pos > 0
+    has_above = pos < n
+    below = sorted_ids[rows, np.clip(pos - 1, 0, n - 1)]
+    above = sorted_ids[rows, np.clip(pos, 0, n - 1)]
+
+    max_level = saturation_level(counter.id_span, c)
+    levels = np.full(qids.shape, max_level, dtype=np.int64)
+    unresolved = np.ones(qids.shape, dtype=bool)
+    radius = 1
+    for level in range(max_level):
+        hit = ((has_below & (below // radius == qids // radius))
+               | (has_above & (above // radius == qids // radius)))
+        found = unresolved & hit
+        levels[found] = level
+        unresolved &= ~hit
+        if not unresolved.any():
+            break
+        radius *= c
+    return levels
+
+
+def occupancy_start_levels(counter, qids, need, c):
+    """Smallest level where the query's total bucket occupancy is ``need``.
+
+    ``S_t(q)`` — the summed sizes of the query's level-``t`` buckets over
+    all ``m`` tables — bounds the candidate pool: every object that ever
+    crossed the collision threshold ``l`` by level ``t`` contributes at
+    least ``l`` entries to ``S_t``, so ``pool_t <= S_t / l``. Passing
+    ``need = l * k`` therefore yields the first level at which *any*
+    termination rule could fire (T1 and T2 both require at least ``k``
+    candidates); below it a round can only burn pages. Occupancies come
+    from two binary searches per table per level on the in-memory sorted
+    id arrays — no pages are charged, matching the classic path's
+    uncharged searchsorted descent. Queries whose occupancy never reaches
+    ``need`` start at the saturation level, where classic would also
+    arrive (exhausted) with the identical pool.
+    """
+    qids = np.asarray(qids, dtype=np.int64)
+    max_level = saturation_level(counter.id_span, c)
+    levels = np.full(qids.shape[0], max_level, dtype=np.int64)
+    unresolved = np.arange(qids.shape[0])
+    radius = 1
+    for level in range(max_level):
+        lo, hi = _intervals_at(counter, qids[unresolved], radius)
+        hit = (hi - lo).sum(axis=1) >= need
+        levels[unresolved[hit]] = level
+        unresolved = unresolved[~hit]
+        if not unresolved.size:
+            break
+        radius *= c
+    return levels
+
+
+def estimate_start_levels(counter, qids, l, c, k=1):
+    """Per-query start level: first level where termination is possible.
+
+    The elementwise max of two exact lower bounds on the first level at
+    which any candidate — and hence any T1/T2 firing — can exist:
+
+    * the *l-th smallest per-table collide level*
+      (:func:`collide_levels`): below it fewer than ``l`` tables have a
+      non-empty query bucket, so no object can reach collision count
+      ``l``;
+    * the *occupancy level* (:func:`occupancy_start_levels` with
+      ``need = l * k``): below it the total bucket occupancy cannot hold
+      even ``k`` threshold-crossers.
+
+    Rounds below the start level are provably outcome-free, and by
+    interval nesting the counts at the jumped-to level equal the
+    incrementally accumulated ones — skipping is answer-preserving.
+    """
+    levels = collide_levels(counter, qids, c)
+    if l <= 1:
+        table_levels = levels.min(axis=1)
+    else:
+        table_levels = np.partition(levels, l - 1, axis=1)[:, l - 1]
+    return np.maximum(table_levels,
+                      occupancy_start_levels(counter, qids, l * k, c))
+
+
+def occupancy_table(counter, qids, c):
+    """Per-query total bucket occupancy at every grid level.
+
+    Returns an int64 ``(Q, sat + 1)`` matrix whose column ``t`` is
+    ``S_t(q)`` — the summed sizes of the query's level-``t`` buckets over
+    all ``m`` tables — up to the counter's :func:`saturation_level`. The
+    sharded engine's workers compute this per shard; occupancies are
+    additive across row partitions, so the coordinator's column-wise sum
+    (:func:`merge_start_levels`) equals the unsharded matrix exactly.
+    """
+    qids = np.asarray(qids, dtype=np.int64)
+    sat = saturation_level(counter.id_span, c)
+    out = np.empty((qids.shape[0], sat + 1), dtype=np.int64)
+    radius = 1
+    for level in range(sat + 1):
+        lo, hi = _intervals_at(counter, qids, radius)
+        out[:, level] = (hi - lo).sum(axis=1)
+        radius *= c
+    return out
+
+
+def merge_start_levels(payloads, l, need):
+    """Global start levels from per-worker shard estimate payloads.
+
+    Each payload (a worker's ``batch_estimate`` answer, reduced over its
+    hosted shards) carries ``collide`` — the elementwise-minimum
+    ``(Q, m)`` collide levels — plus ``occ``, its summed
+    :func:`occupancy_table`, and ``total``, its occupancy at saturation.
+    A global bucket is non-empty iff some shard's restriction of it is,
+    so the cross-worker elementwise minimum reproduces the global collide
+    levels; occupancies are additive, with short ``occ`` rows padded by
+    ``total`` (past its saturation a shard's buckets cover all its
+    entries). The combination rule then matches
+    :func:`estimate_start_levels` decision for decision.
+    """
+    collide = np.minimum.reduce([p["collide"] for p in payloads])
+    width = max(p["occ"].shape[1] for p in payloads)
+    occ = np.zeros((collide.shape[0], width), dtype=np.int64)
+    for p in payloads:
+        w = p["occ"].shape[1]
+        occ[:, :w] += p["occ"]
+        if w < width:
+            occ[:, w:] += int(p["total"])
+    if l <= 1:
+        table_levels = collide.min(axis=1)
+    else:
+        table_levels = np.partition(collide, l - 1, axis=1)[:, l - 1]
+    meets = occ >= int(need)
+    meets[:, -1] = True  # at saturation classic also arrives, exhausted
+    occ_levels = meets.argmax(axis=1)
+    levels = np.maximum(np.minimum(table_levels, width - 1), occ_levels)
+    return np.minimum(levels, MAX_ROUNDS - 1)
+
+
+def probe_order(uids, qids, radius):
+    """Tables ranked most-promising-first for a round at ``radius``.
+
+    ``uids`` are the raw projections divided by the bucket width — the
+    query's real-valued coordinate in base-bucket units (``floor(uids) ==
+    qids``). The margin of table ``j`` is the distance from that
+    coordinate to the nearest boundary of the query's radius-``R`` bucket
+    ``[anchor, anchor + R)``; a large margin means the query sits
+    centrally and near neighbors likely share the bucket, a small margin
+    means they likely fell just across the boundary. Descending margin is
+    the multi-probe boundary-distance heuristic applied to C2LSH's
+    compound buckets. Stable-sorted so the order is deterministic.
+    """
+    anchors = (qids // radius) * radius
+    rel = uids - anchors
+    margin = np.minimum(rel, radius - rel)
+    return np.argsort(-margin, axis=1, kind="stable")
+
+
+def _chunk_bounds(m, chunks):
+    """Chunk boundaries over ``m`` tables (balanced contiguous slices)."""
+    chunks = max(1, min(int(chunks), m))
+    return np.linspace(0, m, chunks + 1).astype(np.int64)
+
+
+def skipped_round_pages(counter, qids, levels, c):
+    """Per-skipped-level page bills the classic schedule would have paid.
+
+    Returns ``[(level, radius, queries, pages)]`` for every level below
+    some query's start, pricing each round as classic would: fresh full
+    intervals at level 0, then the incremental left/right extensions.
+    Costs the binary searches the estimator skipped, so callers only run
+    this under an active trace (or in benchmarks).
+    """
+    pm = counter._pm
+    if pm is None:
+        return []
+    qids = np.asarray(qids, dtype=np.int64)
+    max_start = int(levels.max()) if levels.size else 0
+    out = []
+    prev_lo = prev_hi = None
+    radius = 1
+    for level in range(max_start):
+        group = np.flatnonzero(levels > level)
+        if not group.size:
+            break
+        lo, hi = _intervals_at(counter, qids, radius)
+        if prev_lo is None:
+            lens = (hi - lo)[group].ravel()
+        else:
+            lens = np.concatenate(((prev_lo - lo)[group].ravel(),
+                                   (hi - prev_hi)[group].ravel()))
+        lens = lens[lens > 0]
+        pages = int(pm.bucket_scan_pages(
+            lens, counter._entry_bytes).sum()) if lens.size else 0
+        out.append((level, radius, group, pages))
+        prev_lo, prev_hi = lo, hi
+        radius *= c
+    return out
+
+
+def _intervals_at(counter, qids, radius):
+    """Covered position intervals at ``radius`` (saturation rule included)."""
+    m, n = counter.m, counter.n
+    if radius >= 2 * (counter.id_span + 1):
+        return (np.zeros(qids.shape, dtype=np.int64),
+                np.full(qids.shape, n, dtype=np.int64))
+    anchors = (qids // radius) * radius
+    lo = row_searchsorted(counter.sorted_ids, anchors, side="left")
+    hi = row_searchsorted(counter.sorted_ids, anchors + radius,
+                          side="left")
+    return lo, hi
+
+
+def adaptive_batch_query(index, queries, query_bucket_ids, uids, k,
+                         n_jobs=None, started=None, budget=None,
+                         config=None):
+    """Answer ``Q`` queries with query-adaptive probing.
+
+    The adaptive analogue of :func:`repro.core.batchengine.batch_query`:
+    per-query schedules start at the estimated level, queries are grouped
+    by their current radius so every round still runs the vectorized
+    counting kernels, and within a round the ordered tables are expanded
+    chunk by chunk with T2/T1 re-checked in between. Termination rules,
+    budget semantics and the graceful fallback are the classic ones;
+    ``QueryStats.probes_issued`` / ``probes_skipped`` account for every
+    per-table probe executed or avoided. ``uids`` are the raw projections
+    over the bucket width (``floor(uids) == query_bucket_ids``).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    config = config or AdaptiveConfig()
+    t0 = started if started is not None else time.perf_counter()
+    params = index.params
+    n = index._data.shape[0]
+    m = params.m
+    n_queries = queries.shape[0]
+    if n_queries == 0:
+        return []
+    target = min(n, k + params.false_positive_budget)  # T2 threshold
+    pm = index._pm
+    c = params.c
+
+    counter = BatchQueryCounter(index._counter, query_bucket_ids)
+    state = _QueryState(index, queries, query_bucket_ids, uids, counter,
+                        k, target, config, budget, t0)
+
+    levels = np.zeros(n_queries, dtype=np.int64)
+    if config.start_estimate:
+        # With T1 disabled (A4 ablation) only T2 can fire, which needs
+        # `target` candidates rather than k — a laxer, still-exact bound.
+        k_eff = k if index._use_t1 else target
+        with trace.span("estimate_start", queries=int(n_queries)):
+            levels = estimate_start_levels(index._counter,
+                                           query_bucket_ids, params.l, c,
+                                           k=k_eff)
+        state.probes_skipped += m * levels
+        if state.traced:
+            _trace_skipped_starts(index._counter, query_bucket_ids,
+                                  levels, c, m)
+
+    pool = (ThreadPoolExecutor(max_workers=int(n_jobs))
+            if n_jobs is not None and int(n_jobs) > 1 else None)
+    try:
+        with trace.span("batch_block", queries=int(n_queries), k=int(k),
+                        probe="adaptive", kernels=kernels.backend_name()):
+            active = np.arange(n_queries)
+            while active.size:
+                level = int(levels[active].min())
+                group = active[levels[active] == level]
+                radius = int(c) ** level
+                done_g = _run_round(state, group, radius, level, pool)
+                done_g = state.check_budgets(group, done_g, radius)
+                finished = group[done_g]
+                if finished.size:
+                    _fallback(index, queries, counter, state.is_candidate,
+                              state.cand_ids, state.cand_dists,
+                              state.n_cand, state.reason, state.io_reads,
+                              finished, k, params, pool)
+                    state.elapsed[finished] = time.perf_counter() - t0
+                levels[group[~done_g]] += 1
+                if finished.size:
+                    keep = np.ones(n_queries, dtype=bool)
+                    keep[finished] = False
+                    active = active[keep[active]]
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    return state.results(pm is not None)
+
+
+class _QueryState:
+    """Per-batch bookkeeping shared by the adaptive round driver."""
+
+    def __init__(self, index, queries, qids, uids, counter, k, target,
+                 config, budget, t0):
+        n = index._data.shape[0]
+        n_queries = queries.shape[0]
+        self.index = index
+        self.queries = queries
+        self.qids = qids
+        self.uids = uids
+        self.counter = counter
+        self.k = k
+        self.target = target
+        self.config = config
+        self.t0 = t0
+        self.is_candidate = np.zeros((n_queries, n), dtype=bool)
+        self.cand_ids = [[] for _ in range(n_queries)]
+        self.cand_dists = [[] for _ in range(n_queries)]
+        self.n_cand = np.zeros(n_queries, dtype=np.int64)
+        self.rounds = np.zeros(n_queries, dtype=np.int64)
+        self.final_radius = np.zeros(n_queries, dtype=np.int64)
+        self.scanned = np.zeros(n_queries, dtype=np.int64)
+        self.io_reads = np.zeros(n_queries, dtype=np.int64)
+        self.probes_issued = np.zeros(n_queries, dtype=np.int64)
+        self.probes_skipped = np.zeros(n_queries, dtype=np.int64)
+        self.elapsed = np.zeros(n_queries, dtype=np.float64)
+        self.reason = [""] * n_queries
+        self.budget_cap = [""] * n_queries
+        self.budgets = as_budget_list(budget, n_queries)
+        self.tallies = ([WithinRadiusTally() for _ in range(n_queries)]
+                        if index._use_t1 else None)
+        self.traced = trace.active()
+        self.best = (np.full(n_queries, np.inf) if self.traced else None)
+
+    def check_budgets(self, group, done_g, radius):
+        """Round-boundary budget checks for not-naturally-done queries."""
+        if self.budgets is None:
+            return done_g
+        pm = self.index._pm
+        now = time.perf_counter()
+        for i in np.flatnonzero(~done_g):
+            q = int(group[i])
+            b = self.budgets[q]
+            if b is None:
+                continue
+            cap = _tripped_cap_impl(b, int(self.n_cand[q]),
+                                    int(self.io_reads[q]),
+                                    pm is not None, self.t0, now)
+            if not cap:
+                continue
+            done_g[i] = True
+            self.reason[q] = "budget"
+            self.budget_cap[q] = cap
+            flight.note(
+                "budget_exhausted", engine="adaptive", query=q, cap=cap,
+                radius=int(radius), candidates=int(self.n_cand[q]),
+                io_pages=int(self.io_reads[q]),
+            )
+        return done_g
+
+    def results(self, accounting):
+        n_queries = len(self.reason)
+        tripped = [q for q in range(n_queries) if self.budget_cap[q]]
+        if tripped:
+            flight.dump("budget_exhausted", extra={
+                "engine": "adaptive",
+                "queries": tripped,
+                "caps": sorted({self.budget_cap[q] for q in tripped}),
+            })
+        out = []
+        for q in range(n_queries):
+            stats = QueryStats(
+                rounds=int(self.rounds[q]),
+                final_radius=int(self.final_radius[q]),
+                candidates=int(self.n_cand[q]),
+                scanned_entries=int(self.scanned[q]),
+                terminated_by=self.reason[q],
+                elapsed_s=float(self.elapsed[q]),
+                degraded=bool(self.budget_cap[q]),
+                budget_exhausted=self.budget_cap[q],
+                probes_issued=int(self.probes_issued[q]),
+                probes_skipped=int(self.probes_skipped[q]),
+            )
+            if accounting:
+                stats.io_reads = int(self.io_reads[q])
+            if self.traced:
+                trace.event(
+                    "query_stats", query=q, rounds=stats.rounds,
+                    final_radius=stats.final_radius,
+                    candidates=stats.candidates,
+                    scanned_entries=stats.scanned_entries,
+                    io_reads=stats.io_reads, io_writes=stats.io_writes,
+                    terminated_by=stats.terminated_by,
+                    elapsed_s=stats.elapsed_s, degraded=stats.degraded,
+                    probes_issued=stats.probes_issued,
+                    probes_skipped=stats.probes_skipped,
+                )
+            ids = (np.concatenate(self.cand_ids[q]) if self.cand_ids[q]
+                   else np.empty(0, dtype=np.int64))
+            dists = (np.concatenate(self.cand_dists[q])
+                     if self.cand_dists[q] else np.empty(0))
+            out.append(QueryResult.from_candidates(ids, dists, self.k,
+                                                   stats))
+        return out
+
+
+def _run_round(state, group, radius, level, pool):
+    """One radius round for one same-level query group; returns done mask.
+
+    Tables are probed in margin order, ``config.chunks`` at a time, with
+    T2/T1 re-checked after every chunk; queries whose rule fires stop
+    probing and skip the rest of the round. The final chunk's check is
+    exactly the classic end-of-round check, so with ``chunks=1`` the
+    round is bit-identical to :func:`batchengine.batch_query`'s.
+    """
+    index = state.index
+    counter = state.counter
+    config = state.config
+    params = index.params
+    m, c = params.m, params.c
+    G = group.size
+    state.rounds[group] += 1
+    state.final_radius[group] = radius
+    threshold = c * radius * index._scale
+
+    if config.ordered_probes and config.early_exit and config.chunks > 1:
+        order = probe_order(state.uids[group], state.qids[group], radius)
+    else:
+        order = np.broadcast_to(np.arange(m, dtype=np.int64), (G, m))
+    bounds = _chunk_bounds(m, config.chunks if config.early_exit else 1)
+
+    done_g = np.zeros(G, dtype=bool)
+    round_pos = np.arange(G)  # group positions still probing this round
+    round_new = 0
+    pages_saved = 0
+    with trace.span("round", radius=int(radius),
+                    active=int(G)) as rspan:
+        for ci in range(len(bounds) - 1):
+            if round_pos.size == 0:
+                break
+            lo_t, hi_t = int(bounds[ci]), int(bounds[ci + 1])
+            sub = group[round_pos]
+            if len(bounds) == 2:
+                # Whole round in one expand: identical segments — and
+                # identical page charges — to the classic engine's round.
+                tables = None
+            else:
+                tables = np.zeros((sub.size, m), dtype=bool)
+                np.put_along_axis(tables, order[round_pos, lo_t:hi_t],
+                                  True, axis=1)
+            with trace.span("count_round", radius=int(radius),
+                            chunk=int(ci)):
+                chunk_scanned, chunk_pages = counter.expand(
+                    radius, sub, tables=tables)
+            state.scanned[sub] += chunk_scanned
+            if chunk_pages is not None:
+                state.io_reads[sub] += chunk_pages
+            state.probes_issued[sub] += hi_t - lo_t
+
+            qs, fresh_ids = counter.crossings(params.l)
+            if qs.size:
+                qb = np.searchsorted(qs, np.arange(sub.size + 1))
+                jobs = [
+                    (int(sub[i]), fresh_ids[qb[i]:qb[i + 1]],
+                     state.queries[sub[i]])
+                    for i in range(sub.size)
+                    if qb[i + 1] > qb[i]
+                ]
+                with trace.span("verify", count=int(fresh_ids.size)):
+                    verified = _verify_many(index, jobs, state.io_reads,
+                                            pool)
+                for (q, fresh, _), dists in zip(jobs, verified):
+                    state.is_candidate[q, fresh] = True
+                    state.cand_ids[q].append(fresh)
+                    state.cand_dists[q].append(dists)
+                    state.n_cand[q] += fresh.size
+                    round_new += fresh.size
+                    if state.tallies is not None:
+                        state.tallies[q].add(dists)
+                    if state.traced and dists.size:
+                        state.best[q] = min(state.best[q],
+                                            float(dists.min()))
+
+            last_chunk = ci == len(bounds) - 2
+            # T2 then T1, the classic priority; between chunks a firing
+            # rule both ends the round for the query and terminates it.
+            # T1 is only consulted mid-round when opted into: its pool is
+            # the bare k, and cutting the round there trades recall for
+            # I/O (see AdaptiveConfig.t1_early_exit).
+            t2 = state.n_cand[sub] >= state.target
+            t1 = np.zeros(sub.size, dtype=bool)
+            if state.tallies is not None and (last_chunk
+                                              or config.t1_early_exit):
+                for i in np.flatnonzero(~t2 & (state.n_cand[sub]
+                                               >= state.k)):
+                    q = int(sub[i])
+                    t1[i] = (state.tallies[q].count_within(threshold)
+                             >= state.k)
+            fired = t2 | t1
+            if last_chunk:
+                if level + 1 >= MAX_ROUNDS:
+                    exhausted = np.ones(sub.size, dtype=bool)
+                else:
+                    exhausted = counter.exhausted_mask(sub)
+                fired = fired | exhausted
+            for i in np.flatnonzero(fired):
+                state.reason[sub[i]] = ("T2" if t2[i] else "T1" if t1[i]
+                                        else "exhausted")
+            if (config.provisional_exit and not last_chunk
+                    and hi_t >= config.provisional_min_frac * m):
+                provisional, n_new = _provisional_exits(
+                    state, sub, fired, hi_t, params, pool)
+                round_new += n_new
+                fired = fired | provisional
+            if not last_chunk and np.any(fired):
+                exiting = np.flatnonzero(fired)
+                state.probes_skipped[sub[exiting]] += m - hi_t
+                if state.traced:
+                    pages_saved += _pages_saved(
+                        counter, sub[exiting],
+                        order[round_pos[exiting], hi_t:], radius)
+            done_g[round_pos] |= fired
+            round_pos = round_pos[~fired]
+        if state.traced:
+            _annotate_round(state, rspan, group, radius, threshold,
+                            round_new, pages_saved)
+    return done_g
+
+
+def _provisional_exits(state, sub, fired, probed, params, pool):
+    """Projected-T2 exits after ``probed`` of ``m`` tables this round.
+
+    An object with partial collision count ``>= ceil(l * probed/m)`` is
+    on track to cross the threshold ``l`` by round end. When at least
+    ``target`` objects are on track, probing further tables can only
+    refine *which* ``target`` objects the pool holds, so the engine
+    verifies the best-counted ones (the classic graceful-fallback
+    selection: count descending, stable) and stops the query. Returns
+    ``(mask over sub, newly verified count)``; exits report
+    ``terminated_by == "T2-early"``.
+    """
+    m = params.m
+    l_p = max(1, int(np.ceil(params.l * probed / m)))
+    pool_size = int(state.config.provisional_pool_mult * state.target)
+    provisional = np.zeros(sub.size, dtype=bool)
+    jobs = []
+    for i in np.flatnonzero(~fired):
+        q = int(sub[i])
+        projected = int((state.counter.counts[q] >= l_p).sum())
+        if projected < state.target:
+            continue
+        remaining = np.flatnonzero(~state.is_candidate[q])
+        need = min(min(pool_size, projected) - int(state.n_cand[q]),
+                   remaining.size)
+        provisional[i] = True
+        state.reason[q] = "T2-early"
+        if need <= 0:
+            continue
+        order = np.argsort(-state.counter.counts[q, remaining],
+                           kind="stable")
+        extra = remaining[order[:need]]
+        jobs.append((q, extra, state.queries[q]))
+    if not jobs:
+        return provisional, 0
+    with trace.span("verify", provisional=True,
+                    count=int(sum(j[1].size for j in jobs))):
+        verified = _verify_many(state.index, jobs, state.io_reads, pool)
+    n_new = 0
+    for (q, extra, _), dists in zip(jobs, verified):
+        state.is_candidate[q, extra] = True
+        state.cand_ids[q].append(extra)
+        state.cand_dists[q].append(dists)
+        state.n_cand[q] += extra.size
+        n_new += extra.size
+        if state.traced and dists.size:
+            state.best[q] = min(state.best[q], float(dists.min()))
+    return provisional, n_new
+
+
+def _pages_saved(counter, exiting, remaining_tables, radius):
+    """Pages the exiting queries' unprobed tables would have cost."""
+    m = counter._index.m
+    tables = np.zeros((exiting.size, m), dtype=bool)
+    np.put_along_axis(tables, remaining_tables, True, axis=1)
+    return int(counter.peek_pages(radius, exiting, tables).sum())
+
+
+def _annotate_round(state, rspan, group, radius, threshold, round_new,
+                    pages_saved):
+    """Attach the explain-grade record to the round span (traced only).
+
+    For a single-query group these are exactly the per-round EXPLAIN
+    columns (see ``C2LSH._annotate_round``); for larger groups they are
+    group sums, which is what a batch postmortem wants anyway.
+    """
+    within = 0
+    if state.tallies is not None:
+        for q in group:
+            within += state.tallies[int(q)].count_within(threshold)
+    finite = state.best[group][np.isfinite(state.best[group])]
+    rspan.set(
+        scanned=int(state.scanned[group].sum()),
+        new_candidates=int(round_new),
+        total_candidates=int(state.n_cand[group].sum()),
+        best_distance=float(finite.min()) if finite.size else float("inf"),
+        t1_threshold=float(threshold),
+        within_t1=int(within),
+        io_reads=int(state.io_reads[group].sum()),
+        probes_issued=int(state.probes_issued[group].sum()),
+        probes_skipped=int(state.probes_skipped[group].sum()),
+        pages_saved=int(pages_saved),
+    )
+
+
+def _trace_skipped_starts(counter, qids, levels, c, m):
+    """Emit one span per skipped start level with its would-be page bill.
+
+    Only runs under an active trace: pricing the skipped scans costs the
+    very binary searches the estimator avoided, so the fast path never
+    does this. Each span renders as an EXPLAIN row showing what the
+    classic schedule would have paid.
+    """
+    for level, radius, group, pages in skipped_round_pages(
+            counter, qids, levels, c):
+        with trace.span("round", radius=int(radius), skipped=True,
+                        active=int(group.size)) as span:
+            span.set(scanned=0, new_candidates=0, total_candidates=0,
+                     best_distance=float("inf"), t1_threshold=0.0,
+                     within_t1=0, io_reads=0, probes_issued=0,
+                     probes_skipped=int(m * group.size),
+                     pages_saved=int(pages))

@@ -113,9 +113,15 @@ class BatchQueryCounter:
         self._qids = qids
         self.n_queries = qids.shape[0]
         self.counts = np.zeros((self.n_queries, index.n), dtype=np.int32)
-        # Covered position interval [lo, hi) per (query, table).
+        # Covered position interval [lo, hi) per (query, table). A cell
+        # only means anything once probed at least once; `_covered` tracks
+        # that per cell so adaptive probing can grow different tables of
+        # the same query at different times (classic full-round expansion
+        # covers every cell in round one, collapsing this to the old
+        # global started flag).
         self._lo = np.zeros((self.n_queries, index.m), dtype=np.int64)
         self._hi = np.zeros((self.n_queries, index.m), dtype=np.int64)
+        self._covered = np.zeros((self.n_queries, index.m), dtype=bool)
         self._started = False
         self.radius = 0
         self._last_active = None
@@ -135,15 +141,60 @@ class BatchQueryCounter:
                               side="left")
         return lo, hi
 
-    def expand(self, radius, active):
+    def _segments(self, radius, active, tables, lo_new, hi_new):
+        """Scan segments growing ``active``'s selected cells to ``radius``.
+
+        Returns ``(seg_q, seg_t, seg_lo, lengths)`` with zero-length
+        segments dropped. Already-covered selected cells contribute their
+        left ``[lo_new, lo_old)`` and right ``[hi_old, hi_new)`` interval
+        extensions; never-covered ones contribute the full interval. With
+        a full selection these are byte-for-byte the segments the classic
+        engine builds (fresh cells in row-major order on the first round;
+        left-block-then-right-block on later rounds), so classic page
+        charges and kernel inputs are unchanged. Both counting kernels
+        accumulate integer deltas, so segment order never affects counts.
+        """
+        A = active.size
+        m = self._index.m
+        covered = self._covered[active]
+        sel = (np.ones((A, m), dtype=bool) if tables is None
+               else np.asarray(tables, dtype=bool))
+        grow = covered & sel
+        fresh = sel & ~covered
+        old_lo, old_hi = self._lo[active], self._hi[active]
+        if np.any((lo_new > old_lo) & grow) or np.any((hi_new < old_hi)
+                                                      & grow):
+            raise AssertionError(
+                "virtual-rehashing nesting violated: some table's "
+                f"radius-{radius} interval shrank"
+            )
+        gq, gt = np.nonzero(grow)
+        fq, ft = np.nonzero(fresh)
+        seg_q = np.concatenate((gq, gq, fq))
+        seg_t = np.concatenate((gt, gt, ft))
+        seg_lo = np.concatenate((lo_new[grow], old_hi[grow],
+                                 lo_new[fresh]))
+        seg_hi = np.concatenate((old_lo[grow], hi_new[grow],
+                                 hi_new[fresh]))
+        keep = seg_hi > seg_lo
+        lengths = seg_hi[keep] - seg_lo[keep]
+        return seg_q[keep], seg_t[keep], seg_lo[keep], lengths, sel
+
+    def expand(self, radius, active, tables=None):
         """Grow every query in ``active`` to ``radius``; count in one pass.
 
         ``active`` is an int array of query indices (callers advance the
         whole batch through the same grid, dropping terminated queries).
-        Returns ``(scanned, pages)``: per-active-query newly scanned entry
-        counts, and per-active-query bucket-scan pages charged (``None``
-        without a page manager). The total page charge equals the sum of
-        what the sequential path would charge each query this round.
+        ``tables`` — an optional ``(A, m)`` bool mask — restricts the
+        growth to selected (query, table) cells, which is how the adaptive
+        engine probes a round chunk by chunk; ``None`` grows everything,
+        the classic full round. Returns ``(scanned, pages)``:
+        per-active-query newly scanned entry counts, and per-active-query
+        bucket-scan pages charged (``None`` without a page manager). The
+        total page charge equals the sum of what the sequential path would
+        charge each query this round; a masked round charges only the
+        probed cells, and probing a round in chunks charges exactly what
+        one full expansion would (same segment set, split across calls).
 
         Counting is adaptive. Heavy rounds (typically the first, whose
         radius-1 buckets in high dimension hold a large fraction of the
@@ -159,29 +210,8 @@ class BatchQueryCounter:
         m, n = index.m, index.n
         A = active.size
         lo_new, hi_new = self._intervals_for(radius, active)
-        flat_q = np.repeat(np.arange(A), m)
-        flat_t = np.tile(np.arange(m), A)
-        if self._started:
-            old_lo, old_hi = self._lo[active], self._hi[active]
-            if np.any(lo_new > old_lo) or np.any(hi_new < old_hi):
-                raise AssertionError(
-                    "virtual-rehashing nesting violated: some table's "
-                    f"radius-{radius} interval shrank"
-                )
-            # Left extensions [lo_new, lo_old) then right [hi_old, hi_new);
-            # empty ones are dropped below, exactly as the sequential
-            # QueryCounter skips zero-length segments.
-            seg_q = np.concatenate((flat_q, flat_q))
-            seg_t = np.concatenate((flat_t, flat_t))
-            seg_lo = np.concatenate((lo_new.ravel(), old_hi.ravel()))
-            seg_hi = np.concatenate((old_lo.ravel(), hi_new.ravel()))
-        else:
-            seg_q, seg_t = flat_q, flat_t
-            seg_lo, seg_hi = lo_new.ravel(), hi_new.ravel()
-        keep = seg_hi > seg_lo
-        seg_q, seg_t = seg_q[keep], seg_t[keep]
-        seg_lo, seg_hi = seg_lo[keep], seg_hi[keep]
-        lengths = seg_hi - seg_lo
+        seg_q, seg_t, seg_lo, lengths, sel = self._segments(
+            radius, active, tables, lo_new, hi_new)
 
         scanned = np.bincount(
             seg_q, weights=lengths, minlength=A
@@ -198,19 +228,50 @@ class BatchQueryCounter:
             else:
                 pages_per_query = np.zeros(A, dtype=np.int64)
 
+        # Merged per-cell intervals: selected cells move to the new
+        # bounds, unselected keep theirs (uncovered cells sit at the
+        # empty [0, 0), contributing nothing to the dense recount).
+        lo_m = np.where(sel, lo_new, self._lo[active])
+        hi_m = np.where(sel, hi_new, self._hi[active])
         total = int(lengths.sum())
         prev = self.counts[active].copy()
         if total * _DENSE_CUTOVER >= A * m * n:
-            self.counts[active] = self._dense_counts(lo_new, hi_new)
+            self.counts[active] = self._dense_counts(lo_m, hi_m)
         elif total:
             self._sparse_add(active, seg_q, seg_t, seg_lo, lengths)
-        self._lo[active] = lo_new
-        self._hi[active] = hi_new
+        self._lo[active] = lo_m
+        self._hi[active] = hi_m
+        self._covered[active] |= sel
         self._started = True
         self.radius = radius
         self._last_active = active
         self._last_prev = prev
         return scanned, pages_per_query
+
+    def peek_pages(self, radius, active, tables=None):
+        """Would-be page bill of an :meth:`expand` call, without the call.
+
+        Prices growing ``active``'s selected cells to ``radius`` against
+        the current coverage using the shared ``bucket_scan_pages``
+        formula, but charges nothing and mutates nothing. The adaptive
+        engine uses this to report ``pages_saved`` for tables an
+        early-exiting query never probed and for start rounds the
+        estimator skipped. Returns an int64 per-active-query page count
+        (zeros without a page manager).
+        """
+        index = self._index
+        pm = index._pm
+        A = active.size
+        if pm is None or A == 0:
+            return np.zeros(A, dtype=np.int64)
+        lo_new, hi_new = self._intervals_for(int(radius), active)
+        seg_q, _, _, lengths, _ = self._segments(
+            int(radius), active, tables, lo_new, hi_new)
+        if not lengths.size:
+            return np.zeros(A, dtype=np.int64)
+        pages = pm.bucket_scan_pages(lengths, index._entry_bytes)
+        return np.bincount(seg_q, weights=pages,
+                           minlength=A).astype(np.int64)
 
     def _dense_counts(self, lo, hi):
         """Absolute counts at the current intervals via rank comparisons.

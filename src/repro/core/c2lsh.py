@@ -38,6 +38,8 @@ from ..obs import flight, trace
 from ..reliability.budget import as_budget_list
 from ..validation import as_data_matrix, as_query_matrix, as_query_vector
 from ..storage.datafile import DataFile
+from .adaptive import (adaptive_batch_query, as_probe_config,
+                       check_adaptive_supported)
 from .batchengine import MAX_ROUNDS as _MAX_ROUNDS
 from .batchengine import WithinRadiusTally, batch_query
 from .counting import CollisionCounter
@@ -175,16 +177,27 @@ class C2LSH:
 
     # -- querying ------------------------------------------------------------
 
-    def query(self, query, k=1, budget=None):
+    def query(self, query, k=1, budget=None, probe=None):
         """Answer a c-k-ANN query; returns a :class:`QueryResult`.
 
         ``budget`` optionally caps the query's work with a
         :class:`repro.reliability.QueryBudget`; on overrun the verified
         candidates collected so far are returned with
         ``stats.degraded = True`` instead of the search running on.
+
+        ``probe`` selects the probing schedule: ``"classic"`` (default)
+        walks the full paper-exact radius grid; ``"adaptive"`` (or an
+        :class:`repro.core.AdaptiveConfig`) skips provably-empty start
+        rounds, probes tables most-promising-first and early-exits rounds
+        — far fewer pages read, same result contract (see
+        :mod:`repro.core.adaptive` and docs/PERFORMANCE.md).
         """
         self._require_fitted()
+        config = as_probe_config(probe)
         query = as_query_vector(query, self._data.shape[1])
+        if config is not None:
+            return self.query_batch(query[None, :], k=k, n_jobs=1,
+                                    budget=budget, probe=config)[0]
         started = time.perf_counter()
         with trace.span("query", k=int(k),
                         kernels=_kernels_backend()) as qspan:
@@ -431,7 +444,8 @@ class C2LSH:
         """True distances for ``ids``, charging reads per the data layout."""
         return self._family.distance(self._datafile.read(ids), query)
 
-    def query_batch(self, queries, k=1, n_jobs=None, budget=None):
+    def query_batch(self, queries, k=1, n_jobs=None, budget=None,
+                    probe=None):
         """Answer many queries; returns a list of :class:`QueryResult`.
 
         Queries run through the lockstep batch engine
@@ -459,9 +473,19 @@ class C2LSH:
         ablation's I/O pattern stays untouched. Batches larger than 1024
         queries are processed in blocks to bound the engine's
         ``(block, n)`` working matrices.
+
+        ``probe="adaptive"`` (or an :class:`repro.core.AdaptiveConfig`)
+        runs the blocks through the query-adaptive engine
+        (:mod:`repro.core.adaptive`) instead: estimated radius starts,
+        margin-ordered probing, chunked early exit. Requires a rehashable
+        family and incremental counting; classic mode (the default) is
+        the bit-exactness oracle.
         """
         self._require_fitted()
+        config = as_probe_config(probe)
         queries = as_query_matrix(queries, self._data.shape[1])
+        if config is not None:
+            check_adaptive_supported(self._funcs, self._incremental)
         if n_jobs is None and queries.shape[0] > 0:
             # Lazy import: sharding.plan is a leaf module (os only), but
             # importing it at module scope would tangle core <-> sharding.
@@ -471,7 +495,15 @@ class C2LSH:
         started = time.perf_counter()
         budgets = as_budget_list(budget, queries.shape[0])
         with trace.span("hash", queries=int(queries.shape[0])):
-            all_ids = self._funcs.hash(self._hash_view(queries))
+            if config is not None:
+                # Same two ops funcs.hash() performs, so the bucket ids
+                # are bit-identical; the raw grid coordinates additionally
+                # feed the margin-ordered probe schedule.
+                uids = self._funcs.project(self._hash_view(queries)) \
+                    / self._funcs.w
+                all_ids = np.floor(uids).astype(np.int64)
+            else:
+                all_ids = self._funcs.hash(self._hash_view(queries))
         if not self._incremental:
             results = []
             for i, (q, qids) in enumerate(zip(queries, all_ids)):
@@ -484,11 +516,18 @@ class C2LSH:
         results = []
         for start in range(0, queries.shape[0], _BATCH_BLOCK):
             stop = start + _BATCH_BLOCK
-            results.extend(batch_query(
-                self, queries[start:stop], all_ids[start:stop], k,
-                n_jobs=n_jobs, started=started,
-                budget=budgets[start:stop] if budgets is not None
-                else None))
+            block_budget = (budgets[start:stop] if budgets is not None
+                            else None)
+            if config is not None:
+                results.extend(adaptive_batch_query(
+                    self, queries[start:stop], all_ids[start:stop],
+                    uids[start:stop], k, n_jobs=n_jobs, started=started,
+                    budget=block_budget, config=config))
+            else:
+                results.extend(batch_query(
+                    self, queries[start:stop], all_ids[start:stop], k,
+                    n_jobs=n_jobs, started=started,
+                    budget=block_budget))
         return results
 
     def __repr__(self):

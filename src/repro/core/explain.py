@@ -29,7 +29,15 @@ __all__ = ["RoundTrace", "QueryExplanation", "explain",
 
 @dataclass
 class RoundTrace:
-    """What one radius round did."""
+    """What one radius round did.
+
+    The probe columns are populated by adaptive-mode queries
+    (``probe="adaptive"``): per-table probes executed vs. avoided and the
+    page bill the avoided probes would have cost. Classic rounds render
+    zeros — the classic engine probes every table every round and skips
+    nothing. ``skipped`` marks a start round the adaptive estimator
+    proved outcome-free and never ran.
+    """
 
     radius: int
     scanned_entries: int
@@ -39,6 +47,10 @@ class RoundTrace:
     t1_threshold: float
     within_t1: int
     io_reads: int
+    probes_issued: int = 0
+    probes_skipped: int = 0
+    pages_saved: int = 0
+    skipped: bool = False
 
 
 @dataclass
@@ -56,21 +68,27 @@ class QueryExplanation:
         """The trace as an aligned text table plus a verdict line."""
         table = Table(
             ["round", "radius", "scanned", "new_cand", "total_cand",
-             "best_dist", "T1_thresh", "within_T1", "io_pages"],
+             "best_dist", "T1_thresh", "within_T1", "io_pages",
+             "probes", "skipped", "pages_saved"],
             title=f"Query explanation (k={self.k}, "
                   f"T2 cap={self.target})",
         )
         for i, r in enumerate(self.rounds, start=1):
-            table.add(i, r.radius, r.scanned_entries, r.new_candidates,
+            table.add("skip" if r.skipped else i, r.radius,
+                      r.scanned_entries, r.new_candidates,
                       r.total_candidates,
                       f"{r.best_distance:.4f}" if np.isfinite(
                           r.best_distance) else "-",
-                      f"{r.t1_threshold:.4f}", r.within_t1, r.io_reads)
+                      f"{r.t1_threshold:.4f}", r.within_t1, r.io_reads,
+                      r.probes_issued, r.probes_skipped, r.pages_saved)
         verdict = {
             "T1": "stopped by T1: enough verified candidates within c*R",
             "T2": "stopped by T2: the false-positive budget filled",
+            "T2-early": "stopped by provisional T2: projected crossers "
+                        "filled the budget mid-round",
             "exhausted": "stopped because the tables were exhausted",
             "fallback": "fell back to count-ordered verification",
+            "budget": "stopped by the query budget (degraded result)",
         }.get(self.terminated_by, self.terminated_by)
         return table.render() + f"\n=> {verdict}"
 
@@ -98,6 +116,8 @@ class ShardSpanTrace:
     candidates: int
     pages: int
     seconds: float
+    probes_issued: int = 0
+    probes_skipped: int = 0
 
 
 @dataclass
@@ -116,7 +136,7 @@ class ShardedQueryExplanation:
         """The per-shard timeline as a table plus a verdict line."""
         table = Table(
             ["round", "radius", "shard", "pid", "kernels", "scanned",
-             "new_cand", "pages", "ms"],
+             "new_cand", "pages", "probes", "skipped", "ms"],
             title=f"Sharded query explanation (k={self.k}, "
                   f"{self.n_shards} shards, {self.io_reads} pages)",
         )
@@ -124,7 +144,8 @@ class ShardedQueryExplanation:
             table.add(s.round_no if s.round_no else "FB",
                       s.radius if s.radius else "-",
                       s.shard, s.pid, s.kernels, s.scanned,
-                      s.candidates, s.pages, f"{s.seconds * 1e3:.3f}")
+                      s.candidates, s.pages, s.probes_issued,
+                      s.probes_skipped, f"{s.seconds * 1e3:.3f}")
         verdict = {
             "T1": "stopped by T1: enough verified candidates within c*R",
             "T2": "stopped by T2: the false-positive budget filled",
@@ -139,7 +160,7 @@ class ShardedQueryExplanation:
         print(self.render(), file=file)
 
 
-def explain_sharded(engine, query, k=1):
+def explain_sharded(engine, query, k=1, probe=None):
     """Trace one sharded query; per-shard rounds from worker spans.
 
     Runs the real :meth:`~repro.sharding.ShardedC2LSH.query` under a
@@ -149,6 +170,9 @@ def explain_sharded(engine, query, k=1):
     process* and shipped back on the round payloads — give the per-shard
     rows, each stamped with the worker's pid and kernel tier. The sum of
     per-shard ``pages`` equals the query's aggregate ``io_reads``.
+    ``probe="adaptive"`` traces the adaptive protocol; its rows
+    additionally show per-shard probes issued vs. skipped (classic rows
+    render zeros).
     """
     engine._require_fitted()
     if k < 1:
@@ -156,7 +180,7 @@ def explain_sharded(engine, query, k=1):
     query = as_query_vector(query, engine.dim)
 
     with tracing() as tr:
-        result = engine.query(query, k=k)
+        result = engine.query(query, k=k, probe=probe)
 
     # Coordinator rounds close in radius order; number them 1..R so the
     # worker spans (matched by radius) can be grouped per round.
@@ -184,6 +208,8 @@ def explain_sharded(engine, query, k=1):
                                      attrs.get("queries", 0))),
             pages=int(attrs.get("pages", 0)),
             seconds=float(ev.duration_s),
+            probes_issued=int(attrs.get("probes_issued", 0)),
+            probes_skipped=int(attrs.get("probes_skipped", 0)),
         ))
     spans.sort(key=lambda s: (s.round_no or len(round_no) + 1, s.shard))
     return ShardedQueryExplanation(
@@ -193,7 +219,7 @@ def explain_sharded(engine, query, k=1):
     )
 
 
-def explain(index, query, k=1):
+def explain(index, query, k=1, probe=None):
     """Trace one C2LSH query round by round.
 
     Runs the real :meth:`~repro.core.c2lsh.C2LSH.query` under a local
@@ -208,6 +234,11 @@ def explain(index, query, k=1):
         A fitted :class:`repro.core.c2lsh.C2LSH` over a rehashable family.
     query, k:
         As for ``index.query``.
+    probe:
+        Probing mode, as for ``index.query``. Under ``"adaptive"`` the
+        trace includes estimator-skipped start rounds (rendered as
+        ``skip`` rows) and per-round probes issued/skipped with the page
+        bill the skips saved; classic traces render zeros there.
 
     Returns
     -------
@@ -225,7 +256,7 @@ def explain(index, query, k=1):
     target = min(n, k + params.false_positive_budget)
 
     with tracing() as tr:
-        result = index.query(query, k=k)
+        result = index.query(query, k=k, probe=probe)
 
     rounds = [
         RoundTrace(
@@ -237,6 +268,10 @@ def explain(index, query, k=1):
             t1_threshold=ev.attrs["t1_threshold"],
             within_t1=ev.attrs["within_t1"],
             io_reads=ev.attrs["io_reads"],
+            probes_issued=ev.attrs.get("probes_issued", 0),
+            probes_skipped=ev.attrs.get("probes_skipped", 0),
+            pages_saved=ev.attrs.get("pages_saved", 0),
+            skipped=bool(ev.attrs.get("skipped", False)),
         )
         for ev in tr.events
         if getattr(ev, "name", None) == "round"

@@ -50,6 +50,10 @@ class QueryStats:
         (sharded engine, ``on_worker_failure="degrade"`` or a tripped
         circuit breaker). Empty on healthy deployments and under the
         ``"rebuild"`` policy, whose answers are never degraded.
+    probes_issued / probes_skipped:
+        Per-table bucket probes executed vs. avoided (adaptive probing:
+        estimator-skipped start rounds plus early-exited tables; both 0
+        in classic mode, which probes every table every round).
     """
 
     rounds: int = 0
@@ -63,6 +67,8 @@ class QueryStats:
     degraded: bool = False
     budget_exhausted: str = ""
     failed_shards: tuple = ()
+    probes_issued: int = 0
+    probes_skipped: int = 0
 
 
 @dataclass

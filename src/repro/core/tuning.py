@@ -78,7 +78,8 @@ class TuningResult:
 
 
 def tune_c2lsh(data, target_recall=0.9, k=10, n_validation=30,
-               c_grid=(2, 3), budget_grid=(25, 100, 400), seed=0):
+               c_grid=(2, 3), budget_grid=(25, 100, 400), seed=0,
+               probe=None):
     """Grid-search C2LSH's knobs for the cheapest recall-reaching config.
 
     Parameters
@@ -95,6 +96,11 @@ def tune_c2lsh(data, target_recall=0.9, k=10, n_validation=30,
         converted to ``beta``) to try.
     seed:
         Controls the validation split and the trial indexes.
+    probe:
+        Probing mode used to evaluate every trial (as for
+        :meth:`~repro.core.c2lsh.C2LSH.query_batch`). Tune with the mode
+        you will serve with: ``"adaptive"`` trials report the adaptive
+        I/O bill, so the cheapest-config choice reflects it.
 
     Returns
     -------
@@ -120,7 +126,7 @@ def tune_c2lsh(data, target_recall=0.9, k=10, n_validation=30,
             beta = min(budget / train.shape[0], 0.9)
             config = dict(c=int(c), beta=beta, seed=seed)
             index = C2LSH(page_manager=PageManager(), **config).fit(train)
-            results = index.query_batch(validation, k=k)
+            results = index.query_batch(validation, k=k, probe=probe)
             summary = evaluate_results(results, true_ids, true_dists, k)
             trials.append(TrialResult(
                 config=config,

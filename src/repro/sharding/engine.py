@@ -54,6 +54,11 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from ..core.adaptive import (
+    as_probe_config,
+    check_adaptive_supported,
+    merge_start_levels,
+)
 from ..core.batchengine import MAX_ROUNDS, WithinRadiusTally
 from ..core.params import design_params
 from ..core.results import QueryResult, QueryStats
@@ -454,6 +459,7 @@ class ShardedC2LSH:
                 page_size=self._page_size,
                 page_latency_s=self._page_latency_s,
                 fault_plan=self._fault_plan, fault_seed=self._fault_seed,
+                c=params.c,
             )
             if serial:
                 self._data = data
@@ -674,29 +680,32 @@ class ShardedC2LSH:
         for name, delta in deltas.items():
             self.metrics.counter(name).inc(delta)
 
-    def explain(self, query, k=1):
+    def explain(self, query, k=1, probe=None):
         """Trace one query end to end; returns a
         :class:`repro.core.explain.ShardedQueryExplanation` with the
         coordinator's round timeline and the grafted per-shard worker
-        spans (shard id, worker pid, kernel tier, pages, candidates)."""
+        spans (shard id, worker pid, kernel tier, pages, candidates —
+        plus probes issued/skipped under ``probe="adaptive"``)."""
         from ..core.explain import explain_sharded
 
-        return explain_sharded(self, query, k=k)
+        return explain_sharded(self, query, k=k, probe=probe)
 
     # -- querying ------------------------------------------------------------
 
-    def query(self, query, k=1, budget=None):
+    def query(self, query, k=1, budget=None, probe=None):
         """Answer one c-k-ANN query; returns a :class:`QueryResult`.
 
         Identical ids/distances to the unsharded index — see the module
         docstring for the equivalence argument. ``budget`` caps the
-        query's aggregate work (see :meth:`query_batch`).
+        query's aggregate work and ``probe`` selects classic or adaptive
+        probing (see :meth:`query_batch`).
         """
         self._require_fitted()
         query = as_query_vector(query, self.dim)
-        return self.query_batch(query[None, :], k=k, budget=budget)[0]
+        return self.query_batch(query[None, :], k=k, budget=budget,
+                                probe=probe)[0]
 
-    def query_batch(self, queries, k=1, budget=None):
+    def query_batch(self, queries, k=1, budget=None, probe=None):
         """Answer many queries with per-round shard fan-out.
 
         Each worker advances the PR-1 lockstep batch engine over its own
@@ -711,10 +720,23 @@ class ShardedC2LSH:
         budgets each query separately, honoring each budget's
         ``started_at`` anchor — the serving front-end's coalesced-batch
         contract.
+
+        ``probe`` selects the probing mode: ``None``/``"classic"`` is
+        the bit-exact lockstep protocol; ``"adaptive"`` (or an
+        :class:`repro.core.adaptive.AdaptiveConfig`) skips
+        estimator-certified start rounds globally and lets each shard
+        probe its tables margin-ordered with local early exit, while
+        every T1/T2/exhaustion/budget decision stays at the coordinator
+        (see :meth:`_drive_block_adaptive`). Sharded adaptive mode runs
+        certified exits only — the provisional projected-crosser exit
+        needs cross-shard counts mid-round and is disabled here.
         """
         self._require_fitted()
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        config = as_probe_config(probe)
+        if config is not None:
+            check_adaptive_supported(self._funcs)
         queries = as_query_matrix(queries, self.dim)
         budgets = as_budget_list(budget, queries.shape[0])
         started = time.perf_counter()
@@ -724,14 +746,26 @@ class ShardedC2LSH:
             with trace.span("hash", queries=int(queries.shape[0])):
                 hashed = queries if self._scale == 1.0 \
                     else queries / self._scale
-                all_qids = self._funcs.hash(hashed)
+                if config is None:
+                    all_uids = None
+                    all_qids = self._funcs.hash(hashed)
+                else:
+                    all_uids = self._funcs.project(hashed) / self._funcs.w
+                    all_qids = np.floor(all_uids).astype(np.int64)
             results = []
             for start in range(0, queries.shape[0], _BATCH_BLOCK):
                 stop = start + _BATCH_BLOCK
-                results.extend(self._drive_block(
-                    queries[start:stop], all_qids[start:stop], k,
-                    budgets[start:stop] if budgets is not None else None,
-                    started))
+                block_budgets = (budgets[start:stop]
+                                 if budgets is not None else None)
+                if config is None:
+                    results.extend(self._drive_block(
+                        queries[start:stop], all_qids[start:stop], k,
+                        block_budgets, started))
+                else:
+                    results.extend(self._drive_block_adaptive(
+                        queries[start:stop], all_qids[start:stop],
+                        all_uids[start:stop], k, block_budgets, started,
+                        config))
             qspan.set(seconds=time.perf_counter() - started)
         self.metrics.counter("shard.queries").inc(len(results))
         self.metrics.histogram("shard.query_batch.seconds").observe(
@@ -937,6 +971,257 @@ class ShardedC2LSH:
                                                        stats))
         return results
 
+    def _drive_block_adaptive(self, queries, qids, uids, k, budgets,
+                              started, config):
+        """Drive one query block through adaptive per-query shard rounds.
+
+        The adaptive analogue of :meth:`_drive_block`, mirroring
+        :func:`repro.core.adaptive.adaptive_batch_query`'s control flow
+        with remote counting:
+
+        * one ``batch_estimate`` fan-out gathers per-worker collide
+          levels and occupancy sums, merged exactly
+          (:func:`merge_start_levels`) into global per-query start
+          levels — skipped rounds charge nothing on any shard;
+        * queries are grouped by their current grid level so every
+          fan-out still advances one shared radius per call;
+        * each round ships the per-query T2 deficits to the workers,
+          which probe margin-ordered table chunks and early-exit queries
+          whose local candidates alone cover the global deficit — the
+          per-round probe counts come home on the payloads;
+        * all T1/T2/exhaustion/budget decisions are applied here, to the
+          union of shard observations, exactly as in the classic drive.
+
+        The provisional projected-crosser exit is intentionally absent:
+        it ranks objects by *global* partial counts mid-round, which do
+        not exist on any single shard. Sharded adaptive therefore runs
+        certified exits only (see docs/PERFORMANCE.md).
+        """
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        params = self.params
+        n = self._data.shape[0]
+        target = min(n, k + params.false_positive_budget)  # T2 threshold
+        c = params.c
+        m = params.m
+        scale = self._scale
+        accounting = self._page_accounting
+
+        sup = self._supervisor
+        sup.adopt_ready()
+
+        sid = next(self._session_ids)
+        probe_payload = {
+            "uids": uids,
+            "chunks": int(config.chunks),
+            "ordered": bool(config.ordered_probes),
+            "early_exit": bool(config.early_exit),
+        }
+        replay = {"sid": sid, "queries": queries, "qids": qids,
+                  "rounds": [], "budget": budgets, "started": started,
+                  "probe": probe_payload}
+        self._call(replay, "batch_start",
+                   (sid, queries, qids, probe_payload))
+
+        cand_ids = [[] for _ in range(n_queries)]
+        cand_dists = [[] for _ in range(n_queries)]
+        n_cand = np.zeros(n_queries, dtype=np.int64)
+        rounds = np.zeros(n_queries, dtype=np.int64)
+        final_radius = np.zeros(n_queries, dtype=np.int64)
+        scanned = np.zeros(n_queries, dtype=np.int64)
+        io_reads = np.zeros(n_queries, dtype=np.int64)
+        probes_issued = np.zeros(n_queries, dtype=np.int64)
+        probes_skipped = np.zeros(n_queries, dtype=np.int64)
+        elapsed = np.zeros(n_queries, dtype=np.float64)
+        reason = [""] * n_queries
+        budget_cap = [""] * n_queries
+        fo_shards = [()] * n_queries
+        tallies = ([WithinRadiusTally() for _ in range(n_queries)]
+                   if self._use_t1 else None)
+
+        levels = np.zeros(n_queries, dtype=np.int64)
+        if config.start_estimate:
+            # With T1 disabled only T2 can fire, which needs `target`
+            # candidates rather than k — a laxer, still-exact bound.
+            k_eff = k if self._use_t1 else target
+            with trace.span("shard.estimate_start",
+                            queries=int(n_queries)):
+                estimates = self._call(replay, "batch_estimate", (sid,))
+                payloads = [estimates[w] for w in sorted(estimates)]
+                if payloads:
+                    levels = merge_start_levels(payloads, params.l,
+                                                params.l * k_eff)
+            # A probe is one bucket scan in one shard's table: a skipped
+            # level avoids m probes on every shard.
+            probes_skipped += m * self.n_shards * levels
+
+        try:
+            active = np.arange(n_queries)
+            while active.size:
+                level = int(levels[active].min())
+                group = active[levels[active] == level]
+                radius = int(c) ** level
+                need = {"t2": (target - n_cand[group]).astype(np.int64)}
+                with trace.span("shard.round", radius=int(radius),
+                                active=int(group.size)) as rspan:
+                    t_round = time.perf_counter()
+                    collect = trace.active()
+                    by_worker = self._call(
+                        replay, "batch_round",
+                        (sid, int(radius), group, collect, need))
+                    replay["rounds"].append((int(radius), group.copy(),
+                                             need))
+                    worker_payloads = [by_worker[w]
+                                       for w in sorted(by_worker)]
+                    self.metrics.counter("shard.fanout.tasks").inc(
+                        len(worker_payloads))
+                    payloads = sorted(
+                        (p for worker in worker_payloads for p in worker),
+                        key=lambda p: p.shard_id)
+
+                    rounds[group] += 1
+                    final_radius[group] = radius
+                    exhausted = np.ones(group.size, dtype=bool)
+                    for p in payloads:
+                        if p.spans:
+                            graft(p.spans)
+                        if p.metrics:
+                            self._fold_metrics(p.metrics)
+                        scanned[group] += p.scanned
+                        io_reads[group] += p.io_pages
+                        if p.probes_issued is not None:
+                            probes_issued[group] += p.probes_issued
+                            probes_skipped[group] += p.probes_skipped
+                        exhausted &= p.exhausted
+                        self.metrics.histogram(
+                            "shard.worker.seconds").observe(p.seconds)
+                        if p.qpos.size == 0:
+                            continue
+                        bounds = np.searchsorted(
+                            p.qpos, np.arange(group.size + 1))
+                        for i in np.flatnonzero(np.diff(bounds)):
+                            q = int(group[i])
+                            lo, hi = int(bounds[i]), int(bounds[i + 1])
+                            ids = p.ids[lo:hi]
+                            dists = p.dists[lo:hi]
+                            cand_ids[q].append(ids)
+                            cand_dists[q].append(dists)
+                            n_cand[q] += ids.size
+                            if tallies is not None:
+                                tallies[q].add(dists)
+
+                    # Global termination, classic priority order.
+                    t2 = n_cand[group] >= target
+                    t1 = np.zeros(group.size, dtype=bool)
+                    if tallies is not None:
+                        threshold = c * radius * scale
+                        for i in np.flatnonzero(~t2
+                                                & (n_cand[group] >= k)):
+                            q = int(group[i])
+                            t1[i] = (tallies[q].count_within(threshold)
+                                     >= k)
+                    if level + 1 >= MAX_ROUNDS:
+                        exhausted[:] = True
+                    done = t2 | t1 | exhausted
+                    all_lost = not worker_payloads
+                    for i in np.flatnonzero(done):
+                        reason[group[i]] = ("T2" if t2[i]
+                                            else "T1" if t1[i]
+                                            else "failover" if all_lost
+                                            else "exhausted")
+                    if budgets is not None:
+                        now = time.perf_counter()
+                        for i in np.flatnonzero(~done):
+                            q = int(group[i])
+                            b = budgets[q]
+                            if b is None:
+                                continue
+                            cap = tripped_cap(b, int(n_cand[q]),
+                                              int(io_reads[q]),
+                                              accounting, started, now)
+                            if not cap:
+                                continue
+                            done[i] = True
+                            reason[q] = "budget"
+                            budget_cap[q] = cap
+                            flight.note(
+                                "budget_exhausted",
+                                engine="sharded-adaptive",
+                                query=q, cap=cap,
+                                radius=int(radius),
+                                candidates=int(n_cand[q]),
+                                io_pages=int(io_reads[q]),
+                            )
+                    finished = group[done]
+                    if finished.size:
+                        self._fallback(replay, finished, k, n_cand,
+                                       cand_ids, cand_dists, reason,
+                                       io_reads)
+                        failed = sup.failed_shards()
+                        if failed:
+                            snap = tuple(failed)
+                            for q in finished:
+                                fo_shards[int(q)] = snap
+                        elapsed[finished] = time.perf_counter() - started
+                    self.metrics.counter("shard.rounds").inc()
+                    self.metrics.histogram("shard.round.seconds").observe(
+                        time.perf_counter() - t_round)
+                    rspan.set(
+                        finished=int(finished.size),
+                        probes_issued=int(probes_issued[group].sum()),
+                        probes_skipped=int(probes_skipped[group].sum()),
+                    )
+                    levels[group[~done]] += 1
+                    if finished.size:
+                        keep = np.ones(n_queries, dtype=bool)
+                        keep[finished] = False
+                        active = active[keep[active]]
+        finally:
+            self._call(replay, "batch_end", (sid,), best_effort=True)
+
+        tripped = [q for q in range(n_queries) if budget_cap[q]]
+        if tripped:
+            flight.dump("budget_exhausted", extra={
+                "engine": "sharded-adaptive",
+                "queries": tripped,
+                "caps": sorted({budget_cap[q] for q in tripped}),
+                "shards": self.n_shards,
+                "workers": self.n_workers,
+            })
+
+        lost = sum(1 for q in range(n_queries) if fo_shards[q])
+        if lost:
+            self.metrics.counter(
+                "shard.failover.degraded_queries").inc(lost)
+        self.metrics.counter("shard.probes.issued").inc(
+            int(probes_issued.sum()))
+        self.metrics.counter("shard.probes.skipped").inc(
+            int(probes_skipped.sum()))
+
+        results = []
+        for q in range(n_queries):
+            stats = QueryStats(
+                rounds=int(rounds[q]), final_radius=int(final_radius[q]),
+                candidates=int(n_cand[q]), scanned_entries=int(scanned[q]),
+                terminated_by=reason[q], elapsed_s=float(elapsed[q]),
+                degraded=bool(budget_cap[q]) or bool(fo_shards[q]),
+                budget_exhausted=budget_cap[q],
+                failed_shards=fo_shards[q],
+                probes_issued=int(probes_issued[q]),
+                probes_skipped=int(probes_skipped[q]),
+            )
+            if accounting:
+                stats.io_reads = int(io_reads[q])
+                self.metrics.counter("shard.io.pages").inc(int(io_reads[q]))
+            ids = (np.concatenate(cand_ids[q]) if cand_ids[q]
+                   else np.empty(0, dtype=np.int64))
+            dists = (np.concatenate(cand_dists[q]) if cand_dists[q]
+                     else np.empty(0))
+            results.append(QueryResult.from_candidates(ids, dists, k,
+                                                       stats))
+        return results
+
     # -- failover ------------------------------------------------------------
 
     def _call(self, replay, method, args=(), per_worker=None,
@@ -1015,14 +1300,23 @@ class ShardedC2LSH:
             if not sup.respawn(worker):
                 span.set(ok=False)
                 return False
+            start_args = (sid, replay["queries"], replay["qids"])
+            if replay.get("probe") is not None:
+                start_args += (replay["probe"],)
             _, failures = sup.call(
-                "batch_start", (sid, replay["queries"], replay["qids"]),
+                "batch_start", start_args,
                 workers=[worker], timeout=timeout)
-            for radius, active in replay["rounds"]:
+            for entry in replay["rounds"]:
                 if failures:
                     break
+                # Adaptive rounds carry their need dict; replaying it
+                # reproduces the worker's chunked schedule exactly.
+                radius, active = entry[0], entry[1]
+                round_args = (sid, radius, active, False) \
+                    if len(entry) == 2 \
+                    else (sid, radius, active, False, entry[2])
                 _, failures = sup.call(
-                    "batch_round", (sid, radius, active, False),
+                    "batch_round", round_args,
                     workers=[worker], timeout=timeout)
             span.set(ok=not failures)
             if failures:

@@ -25,6 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.adaptive import (
+    _chunk_bounds,
+    collide_levels,
+    occupancy_table,
+    probe_order,
+)
 from ..core.batchengine import BatchQueryCounter
 from ..core.counting import CollisionCounter
 from ..kernels import backend as _kernels_backend
@@ -90,6 +96,7 @@ class HostConfig:
     page_latency_s: float = 0.0
     fault_plan: object = None
     fault_seed: int = 0
+    c: int = 2
     incremental: bool = True
     worker_index: int = 0
     chaos_generation: int = 0
@@ -109,6 +116,12 @@ class RoundPayload:
     shard id, pid, and kernel tier; the coordinator grafts it into its
     live trace. ``metrics`` piggybacks the host's counter deltas since
     the last report (attached to one payload per host call).
+
+    ``probes_issued`` / ``probes_skipped`` (adaptive rounds only; ``None``
+    on classic rounds) count per-table bucket probes this shard executed
+    vs. early-exited past, per active query — shipped home so the
+    coordinator's global stats and termination decisions stay
+    centralized.
     """
 
     shard_id: int
@@ -121,15 +134,24 @@ class RoundPayload:
     seconds: float = 0.0
     spans: list = None
     metrics: dict = None
+    probes_issued: np.ndarray = None
+    probes_skipped: np.ndarray = None
 
 
 @dataclass
 class _Session:
-    """Per-(shard, batch) lockstep state, kept between rounds."""
+    """Per-(shard, batch) lockstep state, kept between rounds.
+
+    ``probe`` (adaptive sessions only) is the coordinator's probe payload:
+    the ``(Q, m)`` projection coordinates plus the chunk/order knobs of
+    the :class:`repro.core.adaptive.AdaptiveConfig` driving the block.
+    """
 
     counter: BatchQueryCounter
     queries: np.ndarray
     is_candidate: np.ndarray = field(default=None)
+    qids: np.ndarray = field(default=None)
+    probe: dict = field(default=None)
 
 
 class _ShardIndex:
@@ -275,8 +297,13 @@ class ShardHost:
 
     # -- batch session protocol ---------------------------------------------
 
-    def batch_start(self, session_id, queries, qids):
-        """Open a lockstep session for a ``(Q, dim)`` query block."""
+    def batch_start(self, session_id, queries, qids, probe=None):
+        """Open a lockstep session for a ``(Q, dim)`` query block.
+
+        ``probe`` (adaptive blocks only) carries the query projection
+        coordinates and probing knobs; classic blocks omit it and every
+        later round runs the exact classic protocol.
+        """
         self._chaos_step("batch_start")
         for shard in self._shards.values():
             self._sessions[(session_id, shard.spec.shard_id)] = _Session(
@@ -284,10 +311,48 @@ class ShardHost:
                 queries=queries,
                 is_candidate=np.zeros((queries.shape[0], shard.n),
                                       dtype=bool),
+                qids=np.asarray(qids, dtype=np.int64),
+                probe=probe,
             )
         return True
 
-    def batch_round(self, session_id, radius, active, collect=False):
+    def batch_estimate(self, session_id):
+        """Radius-start statistics for the session, reduced over shards.
+
+        Returns ``{"collide": (Q, m) min collide levels, "occ": (Q, L)
+        occupancy sums, "total": occupancy at saturation}`` — this
+        worker's contribution to the coordinator's global
+        :func:`repro.core.adaptive.merge_start_levels` reduction. Reads
+        only the in-memory sorted id arrays; no pages are charged,
+        matching the unsharded estimator.
+        """
+        self._chaos_step("batch_estimate")
+        c = self.config.c
+        collide = None
+        occs = []
+        total = 0
+        for shard_id in sorted(self._shards):
+            shard = self._shards[shard_id]
+            session = self._sessions[(session_id, shard_id)]
+            levels = collide_levels(shard.counter, session.qids, c)
+            collide = levels if collide is None \
+                else np.minimum(collide, levels)
+            occs.append(occupancy_table(shard.counter, session.qids, c))
+            total += shard.counter.m * shard.n
+        width = max(o.shape[1] for o in occs)
+        occ = np.zeros((collide.shape[0], width), dtype=np.int64)
+        for shard_occ, shard_id in zip(occs, sorted(self._shards)):
+            w = shard_occ.shape[1]
+            occ[:, :w] += shard_occ
+            if w < width:
+                # Past its saturation a shard's buckets cover all its
+                # entries in every table.
+                shard = self._shards[shard_id]
+                occ[:, w:] += shard.counter.m * shard.n
+        return {"collide": collide, "occ": occ, "total": int(total)}
+
+    def batch_round(self, session_id, radius, active, collect=False,
+                    need=None):
         """Advance every hosted shard one radius round for ``active``.
 
         Returns one :class:`RoundPayload` per shard. Counting, threshold
@@ -295,12 +360,20 @@ class ShardHost:
         :func:`repro.core.batchengine.batch_query` exactly, restricted to
         the shard's rows.
 
+        ``need`` switches the round to adaptive probing (the session must
+        have been opened with a probe payload): a dict whose ``"t2"``
+        entry gives each active query's remaining T2 deficit, letting the
+        shard stop probing a query whose local observations alone already
+        guarantee the coordinator's global rule will fire. ``None`` (the
+        default, and every classic caller) runs the exact classic round.
+
         When ``collect`` is true (the coordinator's trace is live) each
         shard's round runs inside a local span capture; the exported
         subtree — stamped with shard id, worker pid and kernel tier —
         ships back on the payload for the coordinator to graft.
         """
         self._chaos_step("batch_round")
+        adaptive = need is not None
         payloads = []
         for shard_id in sorted(self._shards):
             if collect:
@@ -312,17 +385,28 @@ class ShardHost:
                         pid=os.getpid(),
                         kernels=backend_name(),
                     ) as wspan:
-                        payload = self._shard_round(
-                            session_id, shard_id, radius, active)
+                        payload = (self._shard_round_adaptive(
+                            session_id, shard_id, radius, active, need)
+                            if adaptive else self._shard_round(
+                                session_id, shard_id, radius, active))
                         wspan.set(
                             pages=int(payload.io_pages.sum()),
                             candidates=int(payload.ids.size),
                             scanned=int(payload.scanned.sum()),
                         )
+                        if payload.probes_issued is not None:
+                            wspan.set(
+                                probes_issued=int(
+                                    payload.probes_issued.sum()),
+                                probes_skipped=int(
+                                    payload.probes_skipped.sum()),
+                            )
                 payload.spans = export_events(local.events)
             else:
-                payload = self._shard_round(
-                    session_id, shard_id, radius, active)
+                payload = (self._shard_round_adaptive(
+                    session_id, shard_id, radius, active, need)
+                    if adaptive else self._shard_round(
+                        session_id, shard_id, radius, active))
             self._note_round(shard_id, payload)
             payloads.append(payload)
         if payloads:
@@ -362,6 +446,114 @@ class ShardHost:
             seconds=time.perf_counter() - started,
         )
 
+    def _shard_round_adaptive(self, session_id, shard_id, radius, active,
+                              need):
+        """One shard's margin-ordered, chunked round with local early exit.
+
+        The shard probes its tables most-promising-first (the same
+        :func:`~repro.core.adaptive.probe_order` ranking the unsharded
+        adaptive engine uses), ``chunks`` at a time, verifying each
+        chunk's threshold-crossers as it goes. A query stops probing —
+        and charges nothing for its remaining tables — once this shard's
+        new candidates alone cover the query's global T2 deficit
+        (``need["t2"]``): the coordinator adds at least these candidates,
+        so its centralized T2 decision is guaranteed to fire this round.
+        Global T1/T2/exhaustion/budget decisions all remain at the
+        coordinator; the shard only ever cuts provably-redundant local
+        work, shipping the per-query probe counts home on the payload.
+        """
+        shard = self._shards[shard_id]
+        session = self._sessions[(session_id, shard_id)]
+        probe = session.probe
+        started = time.perf_counter()
+        counter = session.counter
+        m = session.qids.shape[1]
+        A = active.size
+        chunks = int(probe.get("chunks", 1)) \
+            if probe.get("early_exit", True) else 1
+        if probe.get("ordered", True) and chunks > 1:
+            order = probe_order(probe["uids"][active],
+                                session.qids[active], radius)
+        else:
+            order = np.broadcast_to(np.arange(m, dtype=np.int64), (A, m))
+        bounds = _chunk_bounds(m, chunks)
+        deficit = np.asarray(need["t2"], dtype=np.int64)
+
+        scanned = np.zeros(A, dtype=np.int64)
+        io_pages = np.zeros(A, dtype=np.int64)
+        probes_issued = np.zeros(A, dtype=np.int64)
+        probes_skipped = np.zeros(A, dtype=np.int64)
+        new_count = np.zeros(A, dtype=np.int64)
+        parts = [[] for _ in range(A)]
+        round_pos = np.arange(A)
+        for ci in range(len(bounds) - 1):
+            if round_pos.size == 0:
+                break
+            lo_t, hi_t = int(bounds[ci]), int(bounds[ci + 1])
+            sub = active[round_pos]
+            if len(bounds) == 2:
+                tables = None  # whole round: identical to classic expand
+            else:
+                tables = np.zeros((sub.size, m), dtype=bool)
+                np.put_along_axis(tables, order[round_pos, lo_t:hi_t],
+                                  True, axis=1)
+            chunk_scanned, chunk_pages = counter.expand(radius, sub,
+                                                        tables=tables)
+            scanned[round_pos] += chunk_scanned
+            if chunk_pages is not None:
+                io_pages[round_pos] += chunk_pages
+            probes_issued[round_pos] += hi_t - lo_t
+
+            qpos_c, fresh = counter.crossings(self.config.l)
+            if fresh.size:
+                qb = np.searchsorted(qpos_c, np.arange(sub.size + 1))
+                for i in range(sub.size):
+                    s, e = int(qb[i]), int(qb[i + 1])
+                    if e <= s:
+                        continue
+                    ids = fresh[s:e]
+                    vecs, io = self._read(shard, ids)
+                    pos = int(round_pos[i])
+                    io_pages[pos] += io
+                    parts[pos].append((
+                        ids,
+                        shard.family.distance(vecs,
+                                              session.queries[sub[i]]),
+                    ))
+                    session.is_candidate[sub[i], ids] = True
+                    new_count[pos] += ids.size
+
+            if ci < len(bounds) - 2:
+                fired = new_count[round_pos] >= deficit[round_pos]
+                if np.any(fired):
+                    probes_skipped[round_pos[fired]] += m - hi_t
+                    round_pos = round_pos[~fired]
+
+        qpos_parts, ids_parts, dists_parts = [], [], []
+        for pos in range(A):
+            for ids, dists in parts[pos]:
+                qpos_parts.append(np.full(ids.size, pos, dtype=np.int64))
+                ids_parts.append(ids)
+                dists_parts.append(dists)
+        qpos = (np.concatenate(qpos_parts) if qpos_parts
+                else np.empty(0, dtype=np.int64))
+        ids = (np.concatenate(ids_parts) if ids_parts
+               else np.empty(0, dtype=np.int64))
+        dists = (np.concatenate(dists_parts) if dists_parts
+                 else np.empty(0, dtype=np.float64))
+        return RoundPayload(
+            shard_id=shard_id,
+            qpos=qpos,
+            ids=ids + shard.offset,
+            dists=dists,
+            scanned=scanned,
+            io_pages=io_pages,
+            exhausted=counter.exhausted_mask(active),
+            seconds=time.perf_counter() - started,
+            probes_issued=probes_issued,
+            probes_skipped=probes_skipped,
+        )
+
     def _note_round(self, shard_id, payload):
         """Fold one round's numbers into the host-local registry."""
         self.metrics.counter(f"shard.worker.{shard_id}.rounds").inc()
@@ -369,6 +561,13 @@ class ShardHost:
             int(payload.io_pages.sum()))
         self.metrics.counter(f"shard.worker.{shard_id}.candidates").inc(
             int(payload.ids.size))
+        if payload.probes_issued is not None:
+            self.metrics.counter(
+                f"shard.worker.{shard_id}.probes.issued").inc(
+                int(payload.probes_issued.sum()))
+            self.metrics.counter(
+                f"shard.worker.{shard_id}.probes.skipped").inc(
+                int(payload.probes_skipped.sum()))
 
     def _counter_deltas(self):
         """Counter movement since the last report, or ``None``.
